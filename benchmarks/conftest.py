@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure: heavy Monte-Carlo
+work, so each runs exactly once per session (``rounds=1``) and prints
+the rows/series the paper reports alongside the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,48 @@
+"""Ablation — cluster reliability vs number of cooperating rows.
+
+Sec. V-B: "if the cluster consists of at least 4 rows of nodes, the
+cluster-head can report the detection to the sink when the correlation
+coefficient C exceeds 0.4".  We sweep the row requirement and check
+where the ship/no-ship margin sits relative to that threshold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_cluster_size_ablation
+from repro.analysis.tables import format_rows
+from repro.constants import CORRELATION_DECISION_THRESHOLD
+
+
+def test_bench_ablation_cluster_size(once):
+    rows = once(run_cluster_size_ablation, (2, 3, 4, 5, 6), (1, 2, 3))
+
+    print()
+    print(
+        format_rows(
+            rows,
+            columns=[
+                "rows",
+                "mean_C_ship",
+                "mean_C_noship",
+                "margin",
+                "clears_threshold",
+            ],
+            title="Ablation: correlation vs cooperating rows (M=2)",
+            col_width=16,
+        )
+    )
+
+    by_rows = {int(r["rows"]): r for r in rows}
+    # The paper's operating point: 4 rows clear the threshold with ship...
+    assert by_rows[4]["mean_C_ship"] > CORRELATION_DECISION_THRESHOLD
+    # ...while no-ship stays far below it at every size.
+    assert all(
+        r["mean_C_noship"] < CORRELATION_DECISION_THRESHOLD / 2 for r in rows
+    )
+    # The ship/no-ship margin is positive everywhere.
+    assert all(r["margin"] > 0.2 for r in rows)
+    # Small clusters are *less* discriminative against false alarms:
+    # the no-ship coefficient grows as the row requirement shrinks.
+    assert (
+        by_rows[2]["mean_C_noship"] >= by_rows[6]["mean_C_noship"] - 1e-9
+    )

@@ -1,0 +1,58 @@
+"""Fig. 12 — ship speed estimation at 10 and 16 knots.
+
+Paper shape: the 10-knot runs estimate between ~8 and ~12 knots, the
+16-knot runs between ~15 and ~18; errors stay within ~20 % of the true
+speed.  Our substrate adds the same error sources the paper names —
+buoy drift (~2 m) and imperfect onset timing — so the band is checked
+with a small tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig12_speed_estimation
+from repro.analysis.tables import format_rows
+
+
+def test_bench_fig12_speed_estimation(once):
+    rows = once(
+        run_fig12_speed_estimation, (10.0, 16.0), (50.0, 55.0, 60.0), (1, 2, 3)
+    )
+
+    print()
+    print(
+        format_rows(
+            [
+                {
+                    "actual_kn": r.speed_knots,
+                    "est_min_kn": r.min_knots,
+                    "est_max_kn": r.max_knots,
+                    "n_estimates": len(r.estimates_knots),
+                    "worst_err": r.worst_error_fraction,
+                }
+                for r in rows
+            ],
+            columns=[
+                "actual_kn",
+                "est_min_kn",
+                "est_max_kn",
+                "n_estimates",
+                "worst_err",
+            ],
+            title="Fig. 12: estimated vs actual ship speed",
+        )
+    )
+
+    by_speed = {r.speed_knots: r for r in rows}
+    ten, sixteen = by_speed[10.0], by_speed[16.0]
+    # Estimates bracket the truth...
+    assert ten.min_knots < 10.0 < ten.max_knots
+    assert sixteen.min_knots < 16.0 < sixteen.max_knots
+    # ...within roughly the paper's +/-20 % band (30 % ceiling for the
+    # Monte-Carlo worst case).
+    assert ten.worst_error_fraction < 0.30
+    assert sixteen.worst_error_fraction < 0.35
+    # The two speeds are clearly separable from the estimates alone.
+    assert ten.max_knots < sixteen.max_knots
+    mean10 = sum(ten.estimates_knots) / len(ten.estimates_knots)
+    mean16 = sum(sixteen.estimates_knots) / len(sixteen.estimates_knots)
+    assert mean10 < mean16

@@ -1,0 +1,45 @@
+"""Fig. 5 — three-axis ocean-wave record (250 s, 50 Hz).
+
+Paper shape: x and y fluctuate around 0 with large swings (gravity
+projected through buoy tilt); z floats near +1 g (~1024 counts) with
+smaller fluctuations; everything changes with time (wave groups).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig5_ocean_waves
+from repro.analysis.tables import format_rows
+from repro.constants import ACCEL_COUNTS_PER_G
+
+
+def test_bench_fig5_ocean_waves(once):
+    trace, summary = once(run_fig5_ocean_waves, 250.0, 5)
+
+    print()
+    print(
+        format_rows(
+            [
+                {
+                    "axis": axis,
+                    "mean": s.mean,
+                    "std": s.std,
+                    "min": s.minimum,
+                    "max": s.maximum,
+                }
+                for axis, s in summary.items()
+            ],
+            columns=["axis", "mean", "std", "min", "max"],
+            title="Fig. 5: three-axis ambient record (raw counts)",
+        )
+    )
+
+    assert len(trace) == 250 * 50
+    # x / y centred near zero, z near +1 g.
+    assert abs(summary["x"].mean) < 100
+    assert abs(summary["y"].mean) < 100
+    assert abs(summary["z"].mean - ACCEL_COUNTS_PER_G) < 120
+    # Tilt swings make the horizontal axes noisier than the vertical.
+    assert summary["x"].std > summary["z"].std
+    assert summary["y"].std > summary["z"].std
+    # The sea is alive: nontrivial z fluctuation.
+    assert summary["z"].std > 10

@@ -1,0 +1,57 @@
+"""Fig. 6 — 2048-point STFT with and without a ship.
+
+Paper shape: the ambient-only spectrum has "a high, single peak
+concentration"; the segment containing ship waves shows extra spectral
+content — a wider, displaced crest and more total power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_fig6_stft_comparison
+from repro.analysis.tables import format_rows
+
+
+def test_bench_fig6_stft(once):
+    cmp = once(run_fig6_stft_comparison, 6)
+
+    print()
+    print(
+        format_rows(
+            [
+                {
+                    "segment": "ambient",
+                    "n_peaks": cmp.ambient_features.n_peaks,
+                    "dom_hz": cmp.ambient_features.dominant_frequency_hz,
+                    "width_hz": cmp.ambient_features.dominant_peak_width_hz,
+                    "power": cmp.ambient_features.total_power,
+                },
+                {
+                    "segment": "ship",
+                    "n_peaks": cmp.ship_features.n_peaks,
+                    "dom_hz": cmp.ship_features.dominant_frequency_hz,
+                    "width_hz": cmp.ship_features.dominant_peak_width_hz,
+                    "power": cmp.ship_features.total_power,
+                },
+            ],
+            columns=["segment", "n_peaks", "dom_hz", "width_hz", "power"],
+            title="Fig. 6: STFT segment features (z axis, 40.96 s segments)",
+        )
+    )
+
+    amb, ship = cmp.ambient_features, cmp.ship_features
+    # The ship segment carries substantially more spectral power.
+    assert ship.total_power > 1.5 * amb.total_power
+    # Ambient concentrates at the sea peak (0.2-0.7 Hz band).
+    assert 0.2 <= amb.dominant_frequency_hz <= 0.7
+    # The wake displaces/widens the dominant crest.
+    assert ship.dominant_frequency_hz != amb.dominant_frequency_hz
+    assert (
+        ship.dominant_peak_width_hz >= 0.8 * amb.dominant_peak_width_hz
+    )
+    # Both spectra live below ~2 Hz (wave band), not at the Nyquist tail.
+    total = cmp.ship_power.sum()
+    low = cmp.ship_power[cmp.frequencies_hz <= 2.0].sum()
+    assert low / total > 0.9
+    assert np.all(cmp.frequencies_hz >= 0.0)

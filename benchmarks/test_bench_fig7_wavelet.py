@@ -1,0 +1,37 @@
+"""Fig. 7 — Morlet wavelet scalogram of a ship pass.
+
+Paper shape: "the ship waves mainly focus on the low frequency
+spectrum" — during the wake the scalogram's energy concentrates below
+1 Hz (well under the 25 Hz Nyquist), at/near the wake carrier band.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig7_wavelet
+from repro.analysis.tables import format_rows
+
+
+def test_bench_fig7_wavelet(once):
+    scalogram, summary = once(run_fig7_wavelet, 7)
+
+    print()
+    print(
+        format_rows(
+            [summary],
+            columns=[
+                "wake_low_freq_fraction",
+                "wake_dominant_hz",
+                "expected_wake_hz",
+            ],
+            title="Fig. 7: wavelet view of the wake window",
+            col_width=24,
+        )
+    )
+
+    # Wake energy concentrates at low frequency.
+    assert summary["wake_low_freq_fraction"] > 0.6
+    assert summary["wake_dominant_hz"] < 1.5
+    # The scalogram covers the analysis band requested.
+    assert scalogram.frequencies_hz[0] <= 0.06
+    assert scalogram.frequencies_hz[-1] >= 4.9
+    assert scalogram.power.shape[0] == len(scalogram.frequencies_hz)

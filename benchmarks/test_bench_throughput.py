@@ -1,0 +1,53 @@
+"""Engineering benchmark — substrate and detector throughput.
+
+Not a paper experiment: tracks how fast the synthetic sea, the
+detector, and the CWT run, so performance regressions in the hot paths
+are visible.  Unlike the paper benches these use several rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SAMPLE_RATE_HZ
+from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
+from repro.detection.preprocess import preprocess_z_counts
+from repro.dsp.wavelet import cwt_morlet
+from repro.physics.spectrum import SeaState, sea_state_spectrum
+from repro.physics.wavefield import AmbientWaveField
+from repro.types import Position
+
+
+def test_bench_wavefield_synthesis(benchmark):
+    """Ambient acceleration synthesis: 100 s at 50 Hz, 96 components."""
+    spectrum = sea_state_spectrum(SeaState.CALM)
+    field = AmbientWaveField(spectrum, n_components=96, seed=1)
+    t = np.arange(0, 100, 1 / SAMPLE_RATE_HZ)
+
+    result = benchmark(field.vertical_acceleration, Position(0, 0), t)
+    assert result.shape == t.shape
+
+
+def test_bench_detector_throughput(benchmark):
+    """Preprocess + detect over a 400 s trace (the per-node hot path)."""
+    rng = np.random.default_rng(2)
+    z = (1024 + 60 * rng.standard_normal(20000)).astype(np.int64)
+
+    def run():
+        a = preprocess_z_counts(z)
+        det = NodeDetector(
+            0, Position(0, 0), NodeDetectorConfig(m=2.0, af_threshold=0.6)
+        )
+        return det.process_samples(a, 0.0)
+
+    benchmark(run)
+
+
+def test_bench_cwt_throughput(benchmark):
+    """Morlet CWT: 60 s of signal over 40 scales."""
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(3000)
+    freqs = np.geomspace(0.1, 5.0, 40)
+
+    result = benchmark(cwt_morlet, x, SAMPLE_RATE_HZ, freqs)
+    assert result.power.shape == (40, 3000)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Plan a surveillance barrier before deploying a single buoy.
+
+Combines the Kelvin-wake physics with Kumar-style barrier coverage
+(the deployment theory the paper cites): invert the eq. 1 decay law
+against the node threshold to get each ship class's detection radius,
+then check how sparse the grid can get before an intruder can slip
+through undetected.
+
+Run:  python examples/deployment_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.detection.node_detector import NodeDetectorConfig
+from repro.scenario.coverage import BarrierAnalysis, detection_radius_m
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.presets import paper_ship
+
+
+def main() -> None:
+    reference = GridDeployment(6, 5, spacing_m=25.0, seed=1)
+
+    print("detection radius by intruder speed (calm sea):")
+    print(f"{'speed':>8} {'M=1.5':>10} {'M=2.0':>10} {'M=3.0':>10}")
+    for knots in (6.0, 10.0, 16.0, 24.0):
+        ship = paper_ship(reference, speed_knots=knots)
+        radii = [
+            detection_radius_m(ship, NodeDetectorConfig(m=m))
+            for m in (1.5, 2.0, 3.0)
+        ]
+        print(
+            f"{knots:6.0f}kn "
+            + " ".join(f"{r:9.0f}m" for r in radii)
+        )
+
+    print("\nbarrier coverage vs grid spacing (10 kn intruder, M=2):")
+    ship = paper_ship(reference, speed_knots=10.0)
+    radius = detection_radius_m(ship, NodeDetectorConfig(m=2.0))
+    print(f"  detection radius: {radius:.0f} m")
+    print(f"{'spacing':>9} {'1-barrier':>10} {'max barriers':>13}")
+    for spacing in (25.0, 50.0, 100.0, 150.0, 250.0):
+        grid = GridDeployment(6, 5, spacing_m=spacing, seed=1)
+        analysis = BarrierAnalysis(grid, radius_m=radius)
+        covered = analysis.analyze(k=1).covered
+        print(
+            f"{spacing:8.0f}m {'yes' if covered else 'NO':>10} "
+            f"{analysis.max_barriers():>13}"
+        )
+
+    print(
+        "\nthe paper's 25 m grid is heavily redundant against a 10-knot"
+        "\nintruder - the spacing is set by the correlation machinery"
+        "\n(several rows must see one wake), not by bare detectability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Harbor surveillance: the full SID system over a lossy radio network.
+
+Deploys the paper's 6 x 5 grid of buoys at 25 m spacing, sails a
+16-knot intruder through it, and runs everything end to end inside the
+discrete-event simulator: node-level detection, the 6-hop temporary-
+cluster flood, member reports over a CSMA radio with collisions and
+retries, spatial/temporal correlation at the cluster head, and multihop
+delivery of the confirmed detection to the sink.
+
+Run:  python examples/harbor_surveillance.py
+"""
+
+from __future__ import annotations
+
+from repro.detection.node_detector import NodeDetectorConfig
+from repro.detection.sid import SIDNodeConfig
+from repro.scenario.presets import paper_scenario
+from repro.scenario.runner import run_network_scenario
+
+
+def main() -> None:
+    deployment, ship, synthesis = paper_scenario(
+        speed_knots=16.0, seed=6, duration_s=400.0
+    )
+    cross_time = ship.time_at_point(deployment.center())
+    print(
+        f"deployment: {deployment.rows} x {deployment.columns} buoys at "
+        f"{deployment.spacing_m:.0f} m spacing"
+    )
+    print(
+        f"intruder: {ship.speed_knots:.0f} knots, crossing the field at "
+        f"t = {cross_time:.0f} s"
+    )
+
+    result = run_network_scenario(
+        deployment,
+        [ship],
+        sid_config=SIDNodeConfig(
+            detector=NodeDetectorConfig(m=2.0, af_threshold=0.5)
+        ),
+        synthesis_config=synthesis,
+        seed=6,
+    )
+
+    print("\nradio activity:")
+    for key, value in result.mac_stats.items():
+        print(f"  {key:>14}: {value}")
+    print(f"  frames reaching the sink: {result.sink_frames}")
+
+    print("\nsink decisions:")
+    if not result.decisions:
+        print("  (none)")
+    for d in result.decisions:
+        verdict = "INTRUSION" if d.intrusion else "false alarm rejected"
+        line = f"  t = {d.time:6.1f} s  {verdict}  ({d.n_clusters} cluster report(s))"
+        if d.speed_estimate_mps is not None:
+            line += f"  est. speed {d.speed_estimate_mps / 0.514444:.1f} kn"
+        print(line)
+
+    if result.intrusion_detected:
+        latency = (
+            min(d.time for d in result.decisions if d.intrusion) - cross_time
+        )
+        print(
+            f"\nintrusion confirmed {latency:.0f} s after the ship crossed "
+            "the field (wedge sweep + cluster collection window)"
+        )
+    else:
+        print("\nno intrusion confirmed - try another seed or lower M")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Long-term surveillance with duty-cycled sentinels (paper Sec. IV-A).
+
+A harbor barrier must run for months on battery.  The paper's answer:
+keep a rotating subset of nodes awake as sentinels, wake the fleet when
+a sentinel raises an alarm.  This script runs three intrusion scenarios
+under three policies (always-on, half, quarter sentinels) and prints
+the detection coverage next to the projected battery lifetime.
+
+Run:  python examples/long_term_surveillance.py
+"""
+
+from __future__ import annotations
+
+from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+from repro.detection.node_detector import NodeDetectorConfig
+from repro.scenario.metrics import classify_alarms
+from repro.scenario.presets import paper_scenario
+from repro.scenario.runner import run_dutycycled_scenario
+from repro.sensors.battery import Battery
+
+
+def run_policy(sentinel_fraction: float, seeds=(3, 5, 6)) -> dict:
+    nodes_detecting = 0
+    nodes_total = 0
+    first_alarms = []
+    for seed in seeds:
+        deployment, ship, synthesis = paper_scenario(seed=seed)
+        result = run_dutycycled_scenario(
+            deployment,
+            [ship],
+            detector_config=NodeDetectorConfig(m=2.0, af_threshold=0.5),
+            duty_config=DutyCycleConfig(sentinel_fraction=sentinel_fraction),
+            synthesis_config=synthesis,
+            seed=seed,
+        )
+        for nid, reports in result.merged_by_node.items():
+            nodes_total += 1
+            ca = classify_alarms(
+                reports, result.truth_windows_by_node[nid], tolerance_s=3.0
+            )
+            nodes_detecting += int(ca.true_positives > 0)
+        if result.first_alarm_time is not None:
+            first_alarms.append(result.first_alarm_time)
+        controller = result.controller
+    energy = controller.energy_summary(86400.0)
+    battery = Battery()
+    per_day = energy["duty_cycled_j"]
+    return {
+        "fraction": sentinel_fraction,
+        "coverage": nodes_detecting / nodes_total,
+        "lifetime_days": battery.capacity_j / per_day,
+        "gain": energy["lifetime_gain"],
+    }
+
+
+def main() -> None:
+    print("duty-cycled surveillance: detection coverage vs battery life\n")
+    print(
+        f"{'sentinels':>10} {'node coverage':>14} "
+        f"{'battery life':>14} {'vs always-on':>13}"
+    )
+    for fraction in (1.0, 0.5, 0.25):
+        r = run_policy(fraction)
+        print(
+            f"{r['fraction'] * 100:9.0f}% {r['coverage'] * 100:13.0f}% "
+            f"{r['lifetime_days']:11.0f} d {r['gain']:12.1f}x"
+        )
+    print(
+        "\nquarter-strength sentinels keep nearly full detection coverage"
+        "\n(the first alarm wakes the fleet while the wake is still sweeping"
+        "\nthe grid) at several times the battery life - the Sec. IV-A"
+        "\nargument, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: detect a passing ship with one instrumented buoy.
+
+Synthesises what the paper's hardware records — a 50 Hz, three-axis
+accelerometer trace from a buoy on a calm sea — drops a 10-knot ship
+wake onto it, and runs the paper's node-level detection pipeline
+(Sec. IV-B): 1 Hz low-pass, gravity removal, rectification, adaptive
+threshold, anomaly frequency.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
+from repro.physics.kelvin import default_amplitude_coefficient
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.ship import ShipTrack
+from repro.scenario.synthesis import (
+    SynthesisConfig,
+    build_ambient_field,
+    synthesize_node_trace,
+)
+from repro.types import Position
+
+
+def main() -> None:
+    # One buoy, anchored at the origin, with paper-spec hardware.
+    deployment = GridDeployment(rows=1, columns=1, seed=42)
+    buoy_node = deployment.node(0)
+
+    # A 10-knot intruder passing 30 m abeam, two minutes in.
+    speed_knots = 10.0
+    ship = ShipTrack.through_point(
+        Position(30.0, 20.0),
+        heading_rad=math.radians(90.0),
+        speed_knots=speed_knots,
+        approach_distance_m=600.0,
+        wake_coefficient=default_amplitude_coefficient(
+            speed_knots * 0.514444, 1.5
+        ),
+    )
+    arrival = ship.wake().arrival_time(buoy_node.anchor)
+    print(f"ship speed: {speed_knots} knots")
+    print(f"wake should reach the buoy at t = {arrival:.1f} s")
+
+    # Synthesize the raw 50 Hz accelerometer record (counts).
+    config = SynthesisConfig(duration_s=240.0)
+    field = build_ambient_field(config, seed=7)
+    trace = synthesize_node_trace(buoy_node, field, [ship], config=config)
+    print(
+        f"recorded {len(trace)} samples; z-axis floats at "
+        f"{trace.z.mean():.0f} counts (~1 g) with sigma {trace.z.std():.0f}"
+    )
+
+    # Node-level detection at the paper's M = 2, af = 60 % operating point.
+    detector = NodeDetector(
+        node_id=0,
+        position=buoy_node.anchor,
+        config=NodeDetectorConfig(m=2.0, af_threshold=0.6),
+    )
+    reports = detector.process_trace(trace)
+    if not reports:
+        print("no detection (try a closer pass or lower threshold)")
+        return
+    print(f"{len(reports)} anomalous windows detected:")
+    for r in reports[:5]:
+        flag = "<- wake" if abs(r.onset_time - arrival) < 6.0 else ""
+        print(
+            f"  onset t = {r.onset_time:7.2f} s   af = {r.anomaly_frequency:.2f}"
+            f"   energy = {r.energy:6.1f} counts {flag}"
+        )
+    first = min(reports, key=lambda r: abs(r.onset_time - arrival))
+    print(
+        f"closest detection to the wake: {first.onset_time:.2f} s "
+        f"({first.onset_time - arrival:+.2f} s from the wedge front)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Tell ship waves from ocean waves by their spectrum (paper Sec. III).
+
+Reproduces the paper's discrimination argument on synthetic data:
+
+- the STFT of an ambient-only segment shows one concentrated peak at
+  the sea's peak frequency (Fig. 6a);
+- the segment containing the ship wake adds a wider, displaced crest
+  and far more power (Fig. 6b);
+- the Morlet scalogram localises that wake energy at low frequency in
+  time (Fig. 7).
+
+Spectra are printed as ASCII bar charts — no plotting dependencies.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    run_fig6_stft_comparison,
+    run_fig7_wavelet,
+)
+
+
+def ascii_spectrum(freqs: np.ndarray, power: np.ndarray, n_bins: int = 24,
+                   f_max: float = 2.0, width: int = 50) -> str:
+    """Render a power spectrum as horizontal ASCII bars."""
+    edges = np.linspace(freqs[0], f_max, n_bins + 1)
+    idx = np.digitize(freqs, edges)
+    binned = np.array(
+        [power[idx == i].sum() for i in range(1, n_bins + 1)]
+    )
+    top = binned.max() or 1.0
+    lines = []
+    for i, value in enumerate(binned):
+        bar = "#" * int(round(width * value / top))
+        lines.append(f"{edges[i]:5.2f}-{edges[i + 1]:4.2f} Hz |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    cmp = run_fig6_stft_comparison(seed=6)
+
+    print("=== ambient-only 40.96 s STFT segment (Fig. 6a) ===")
+    print(ascii_spectrum(cmp.frequencies_hz, cmp.ambient_power))
+    amb = cmp.ambient_features
+    print(
+        f"\n  dominant: {amb.dominant_frequency_hz:.2f} Hz, "
+        f"width {amb.dominant_peak_width_hz:.2f} Hz, "
+        f"power {amb.total_power:.2e}"
+    )
+
+    print("\n=== segment containing the ship wake (Fig. 6b) ===")
+    print(ascii_spectrum(cmp.frequencies_hz, cmp.ship_power))
+    shp = cmp.ship_features
+    print(
+        f"\n  dominant: {shp.dominant_frequency_hz:.2f} Hz, "
+        f"width {shp.dominant_peak_width_hz:.2f} Hz, "
+        f"power {shp.total_power:.2e} "
+        f"({shp.total_power / amb.total_power:.1f}x the ambient)"
+    )
+
+    print("\n=== Morlet wavelet view of the wake window (Fig. 7) ===")
+    _, summary = run_fig7_wavelet(seed=7)
+    print(
+        f"  fraction of wake-window energy below 1 Hz: "
+        f"{summary['wake_low_freq_fraction'] * 100.0:.0f} %"
+    )
+    print(
+        f"  dominant frequency during the wake: "
+        f"{summary['wake_dominant_hz']:.2f} Hz "
+        f"(carrier {summary['expected_wake_hz']:.2f} Hz, broadened by the"
+        " short packet envelope)"
+    )
+    print(
+        "\nthe paper's conclusion holds: the wake concentrates additional"
+        "\nlow-frequency energy that the ambient spectrum does not carry."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Estimate an intruder's speed from four buoys (paper Fig. 10/12).
+
+The Kelvin wake's cusp line trails the ship at a fixed ~20 degrees, so
+four wake-arrival timestamps from a 2 x 2 buoy block straddling the
+sailing line pin down both the heading (eq. 16's alpha) and the speed.
+This script runs the full pipeline for both paper speeds — synthetic
+sea, detection onsets, eq. 16 inversion — and prints estimated vs true.
+
+Run:  python examples/speed_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig12_speed_estimation
+
+
+def main() -> None:
+    print("four-node speed estimation (D = 25 m, angles 50-60 deg)\n")
+    rows = run_fig12_speed_estimation(
+        speeds_knots=(10.0, 16.0),
+        alphas_deg=(50.0, 55.0, 60.0),
+        seeds=(1, 2, 3),
+    )
+    print(f"{'actual':>8} {'estimates (kn)':>40} {'worst error':>12}")
+    for row in rows:
+        estimates = " ".join(f"{v:5.1f}" for v in sorted(row.estimates_knots))
+        print(
+            f"{row.speed_knots:7.0f}k {estimates:>40} "
+            f"{row.worst_error_fraction * 100.0:10.0f} %"
+        )
+    print(
+        "\nthe paper reports 8-12 kn estimates for the 10-knot runs and"
+        "\n15-18 kn for the 16-knot runs, errors within ~20 % - the same"
+        "\nband our buoy-drift and onset-jitter error sources produce."
+    )
+
+
+if __name__ == "__main__":
+    main()

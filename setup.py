@@ -1,0 +1,7 @@
+"""Setup shim: allows editable installs on environments without the
+``wheel`` package (offline, no PEP 660 backend). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

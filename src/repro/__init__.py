@@ -1,0 +1,33 @@
+"""SID: Ship Intrusion Detection with Wireless Sensor Networks.
+
+A complete reproduction of Luo et al., ICDCS 2011: buoys carrying
+three-axis accelerometers detect intruding ships by their Kelvin wake,
+fuse detections through temporary clusters using spatial/temporal
+correlations, and estimate the intruder's speed from the fixed wake
+geometry.
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.physics` — the synthetic sea and the Kelvin wake;
+- :mod:`repro.sensors` — the iMote2 hardware models;
+- :mod:`repro.dsp` — STFT, Morlet CWT, filters, spectral features;
+- :mod:`repro.detection` — the paper's detection system (the core);
+- :mod:`repro.network` — discrete-event radio network substrate;
+- :mod:`repro.scenario` — end-to-end scenario execution;
+- :mod:`repro.analysis` — per-table/figure experiment drivers.
+
+Quick taste::
+
+    from repro.scenario.presets import paper_scenario
+    from repro.scenario.runner import run_network_scenario
+
+    deployment, ship, synthesis = paper_scenario(speed_knots=16.0, seed=6)
+    result = run_network_scenario(
+        deployment, [ship], synthesis_config=synthesis, seed=6
+    )
+    assert result.intrusion_detected
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,37 @@
+"""Experiment drivers and table rendering for the paper's evaluation.
+
+:mod:`repro.analysis.experiments` holds one entry point per paper table
+or figure; :mod:`repro.analysis.tables` renders the results in the same
+row/column layout the paper prints.
+"""
+
+from repro.analysis.experiments import (
+    Fig11Point,
+    Fig12Row,
+    SpectrumComparison,
+    run_correlation_table,
+    run_fig5_ocean_waves,
+    run_fig6_stft_comparison,
+    run_fig7_wavelet,
+    run_fig8_filtering,
+    run_fig11_detection_ratio,
+    run_fig12_speed_estimation,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.tables import format_matrix, format_rows
+
+__all__ = [
+    "Fig11Point",
+    "Fig12Row",
+    "SpectrumComparison",
+    "format_matrix",
+    "generate_report",
+    "format_rows",
+    "run_correlation_table",
+    "run_fig5_ocean_waves",
+    "run_fig6_stft_comparison",
+    "run_fig7_wavelet",
+    "run_fig8_filtering",
+    "run_fig11_detection_ratio",
+    "run_fig12_speed_estimation",
+]

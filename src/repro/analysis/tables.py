@@ -1,0 +1,57 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    title: str = "",
+    precision: int = 3,
+    col_width: int = 10,
+) -> str:
+    """Render a labelled matrix like the paper's Tables I/II."""
+    if len(values) != len(row_labels):
+        raise ConfigurationError("row label count does not match values")
+    for row in values:
+        if len(row) != len(col_labels):
+            raise ConfigurationError("column label count does not match values")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * col_width + "".join(
+        f"{c:>{col_width}}" for c in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = "".join(f"{v:>{col_width}.{precision}f}" for v in row)
+        lines.append(f"{label:<{col_width}}" + cells)
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    col_width: int = 12,
+) -> str:
+    """Render a list of record dicts as a fixed-width table."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("".join(f"{c:>{col_width}}" for c in columns))
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                cells.append(f"{v:>{col_width}.3f}")
+            else:
+                cells.append(f"{str(v):>{col_width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Physical and hardware constants used across the SID reproduction.
+
+All values are in SI units unless the name says otherwise.  The hardware
+constants mirror the experimental platform of the paper: an iMote2 with
+an ST LIS3L02DQ three-axis accelerometer (+/-2 g, 12-bit) sampled at
+50 Hz (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard gravity [m/s^2].
+GRAVITY = 9.80665
+
+#: One knot in metres per second.
+KNOT = 0.514444
+
+#: Seawater density [kg/m^3] (used by wave-energy helpers).
+SEAWATER_DENSITY = 1025.0
+
+#: Kelvin wake half-angle: the cusp locus line forms 19 deg 28 min with
+#: the sailing line in deep water, independent of ship size and speed
+#: (Sec. II-A).
+KELVIN_CUSP_ANGLE_DEG = 19.0 + 28.0 / 60.0
+KELVIN_CUSP_ANGLE_RAD = math.radians(KELVIN_CUSP_ANGLE_DEG)
+
+#: Angle between the sailing line and the diverging wave crest lines at
+#: the cusp locus line: 54 deg 44 min (Sec. II-A).
+KELVIN_CREST_ANGLE_DEG = 54.0 + 44.0 / 60.0
+KELVIN_CREST_ANGLE_RAD = math.radians(KELVIN_CREST_ANGLE_DEG)
+
+#: The paper's speed-estimation geometry approximates the cusp angle as
+#: 20 degrees (theta in eqs. 14-16).
+SPEED_GEOMETRY_THETA_DEG = 20.0
+SPEED_GEOMETRY_THETA_RAD = math.radians(SPEED_GEOMETRY_THETA_DEG)
+
+#: Accelerometer sample rate used throughout the paper [Hz] (Sec. III-A).
+SAMPLE_RATE_HZ = 50.0
+
+#: Accelerometer full-scale range [g] (ST LIS3L02DQ, Sec. III-A).
+ACCEL_RANGE_G = 2.0
+
+#: ADC resolution of the accelerometer [bits].
+ACCEL_RESOLUTION_BITS = 12
+
+#: Counts per g for a 12-bit, +/-2 g device: 4096 counts over 4 g.
+ACCEL_COUNTS_PER_G = (2 ** ACCEL_RESOLUTION_BITS) / (2.0 * ACCEL_RANGE_G)
+
+#: STFT segment length used in Sec. III-C (2048 points = 40.96 s at 50 Hz).
+STFT_SEGMENT_SAMPLES = 2048
+
+#: Node-level low-pass cutoff: the node "filters out the frequency above
+#: 1 Hz" before detection (Sec. IV-B).
+NODE_LOWPASS_CUTOFF_HZ = 1.0
+
+#: Paper's empirically determined smoothing factors (eq. 5).
+BETA_1 = 0.99
+BETA_2 = 0.99
+
+#: Grid spacing between neighbouring buoys in the evaluation [m]
+#: (Sec. V-A and V-B: "the node's deployment distance D is 25m").
+DEPLOYMENT_SPACING_M = 25.0
+
+#: Duration a ship wave train disturbs one buoy [s] ("the time lasts 2-3
+#: seconds. Thus, we take the value as 2 seconds", Sec. V-A).
+WAKE_DISTURBANCE_DURATION_S = 2.0
+
+#: Cluster-level decision threshold on the correlation coefficient C
+#: ("the cluster-head can report the detection to the sink when the
+#: correlation coefficient C exceeds 0.4", Sec. V-B).
+CORRELATION_DECISION_THRESHOLD = 0.4
+
+#: Free drifting radius of a moored buoy [m] (Sec. V-B: "about 2 meters").
+BUOY_DRIFT_RADIUS_M = 2.0
+
+#: Temporary clusters inform neighbours within this many hops
+#: (SetUpTempCluster "informs nodes within six steps").
+TEMP_CLUSTER_HOPS = 6

@@ -1,0 +1,112 @@
+"""The paper's primary contribution: the SID detection system.
+
+Pure algorithms, independent of the network simulator:
+
+- :mod:`repro.detection.preprocess` — Sec. IV-B signal conditioning
+  (1 Hz low-pass, gravity removal, rectification);
+- :mod:`repro.detection.adaptive` — the environment-adaptive baseline
+  (eqs. 4-5);
+- :mod:`repro.detection.anomaly` — deviations, threshold crossings,
+  anomaly frequency and crossing energy (eqs. 6-8);
+- :mod:`repro.detection.node_detector` — the node-level detector
+  emitting :class:`repro.detection.reports.NodeReport`;
+- :mod:`repro.detection.correlation` — spatial/temporal correlation
+  coefficients (eqs. 9-13);
+- :mod:`repro.detection.cluster` — static cells and the on-demand
+  temporary-cluster state machine (Sec. IV-C);
+- :mod:`repro.detection.speed` — ship speed and heading estimation
+  (eqs. 14-16);
+- :mod:`repro.detection.sink` — sink-level fusion;
+- :mod:`repro.detection.sid` — the paper's Algorithm SID wired end to
+  end on one node.
+"""
+
+from repro.detection.adaptive import AdaptiveBaseline, window_stats
+from repro.detection.classifier import (
+    Classification,
+    ClassifierConfig,
+    EventClass,
+    EventClassifier,
+    EventFeatures,
+)
+from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+from repro.detection.anomaly import (
+    anomaly_frequency,
+    crossing_energy,
+    crossing_mask,
+    deviations,
+)
+from repro.detection.cluster import (
+    ClusterEvent,
+    StaticCluster,
+    TemporaryCluster,
+    TemporaryClusterConfig,
+    partition_static_clusters,
+)
+from repro.detection.correlation import (
+    cluster_correlation,
+    longest_consistent_chain,
+    majority_side,
+    row_energy_correlation,
+    row_time_correlation,
+)
+from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
+from repro.detection.preprocess import PreprocessConfig, preprocess_z_counts
+from repro.detection.reports import (
+    ClusterReport,
+    NodeReport,
+    RowObservation,
+    SinkDecision,
+)
+from repro.detection.sid import SIDNode, SIDNodeConfig, SIDState
+from repro.detection.sink import Sink, SinkConfig
+from repro.detection.tracking import IntrusionEvent, IntrusionTracker
+from repro.detection.speed import (
+    SpeedEstimate,
+    estimate_heading_alpha_rad,
+    estimate_ship_speed,
+)
+
+__all__ = [
+    "AdaptiveBaseline",
+    "Classification",
+    "ClassifierConfig",
+    "DutyCycleConfig",
+    "DutyCycleController",
+    "EventClass",
+    "EventClassifier",
+    "EventFeatures",
+    "IntrusionEvent",
+    "IntrusionTracker",
+    "ClusterEvent",
+    "ClusterReport",
+    "NodeDetector",
+    "NodeDetectorConfig",
+    "NodeReport",
+    "PreprocessConfig",
+    "RowObservation",
+    "SIDNode",
+    "SIDNodeConfig",
+    "SIDState",
+    "Sink",
+    "SinkConfig",
+    "SinkDecision",
+    "SpeedEstimate",
+    "StaticCluster",
+    "TemporaryCluster",
+    "TemporaryClusterConfig",
+    "anomaly_frequency",
+    "cluster_correlation",
+    "crossing_energy",
+    "crossing_mask",
+    "deviations",
+    "estimate_heading_alpha_rad",
+    "estimate_ship_speed",
+    "longest_consistent_chain",
+    "majority_side",
+    "partition_static_clusters",
+    "preprocess_z_counts",
+    "row_energy_correlation",
+    "row_time_correlation",
+    "window_stats",
+]

@@ -1,0 +1,69 @@
+"""Deviations, crossings, anomaly frequency and crossing energy.
+
+Implements paper eqs. 6-8 literally:
+
+- eq. 6:  ``D_i = |a_i - d'_T|`` — the deviation of each (rectified)
+  sample from the running standard deviation.  On the rectified stream
+  the running std acts as the "normal fluctuation" scale, so large
+  ``D_i`` means the sample escaped the ambient envelope.
+- eq. 7:  ``af = NA_dt / N_dt`` — the fraction of samples in the window
+  whose deviation crossed ``D_max = M m'_T``.  "Because the ship waves
+  actually are a train of waves ... the crossing of the threshold occurs
+  several times within a short period of time."
+- eq. 8:  ``E_dt = (1 / NA_dt) sum D_i  (D_i > D_max)`` — the average
+  energy of the crossings, reported to the cluster head and used by the
+  energy correlation (eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalLengthError
+
+
+def deviations(a: np.ndarray, d_t: float) -> np.ndarray:
+    """Eq. 6: per-sample deviation ``D_i = |a_i - d'_T|``."""
+    if d_t < 0:
+        raise ConfigurationError(f"d'_T must be >= 0, got {d_t}")
+    return np.abs(np.asarray(a, dtype=float) - d_t)
+
+
+def crossing_mask(d: np.ndarray, d_max: float) -> np.ndarray:
+    """Boolean mask of samples whose deviation exceeds ``D_max``."""
+    if d_max < 0:
+        raise ConfigurationError(f"D_max must be >= 0, got {d_max}")
+    return np.asarray(d, dtype=float) > d_max
+
+
+def anomaly_frequency(mask: np.ndarray) -> float:
+    """Eq. 7: fraction of window samples that crossed the threshold."""
+    m = np.asarray(mask, dtype=bool)
+    if m.size == 0:
+        raise SignalLengthError("anomaly_frequency needs a non-empty window")
+    return float(np.count_nonzero(m)) / m.size
+
+
+def crossing_energy(d: np.ndarray, mask: np.ndarray) -> float:
+    """Eq. 8: mean deviation over the crossing samples (0 if none)."""
+    dd = np.asarray(d, dtype=float)
+    m = np.asarray(mask, dtype=bool)
+    if dd.shape != m.shape:
+        raise ConfigurationError("deviation and mask shapes differ")
+    n = int(np.count_nonzero(m))
+    if n == 0:
+        return 0.0
+    return float(dd[m].sum()) / n
+
+
+def onset_index(mask: np.ndarray) -> int | None:
+    """Index of the first crossing in the window, or None.
+
+    The node reports "the onset time when the signal first exceeds the
+    threshold" (Sec. IV-B).
+    """
+    m = np.asarray(mask, dtype=bool)
+    idx = np.flatnonzero(m)
+    if idx.size == 0:
+        return None
+    return int(idx[0])

@@ -1,0 +1,439 @@
+"""Cluster-level detection (paper Sec. IV-C).
+
+Two cluster layers coexist:
+
+- **static clusters** partition the deployed grid into geographic
+  "cells" once, right after deployment;
+- **temporary clusters** are set up on demand: the first node to raise
+  a positive alarm becomes temporary cluster head, informs its
+  neighbours within ``TEMP_CLUSTER_HOPS`` hops, collects their positive
+  reports for a timeout, and either cancels (false alarm) or evaluates
+  the spatial/temporal correlation coefficient ``C`` (eq. 13) and, when
+  ``C`` clears the 0.4 threshold, reports to its static cluster head —
+  and estimates the intruder's speed when the Fig. 10 four-node
+  condition holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.constants import (
+    CORRELATION_DECISION_THRESHOLD,
+    TEMP_CLUSTER_HOPS,
+)
+from repro.detection.correlation import cluster_correlation, majority_side
+from repro.detection.reports import ClusterReport, NodeReport, RowObservation
+from repro.detection.speed import (
+    SpeedEstimate,
+    estimate_ship_speed,
+    moving_direction,
+)
+from repro.errors import ConfigurationError, EstimationError, GeometryError
+from repro.types import Position
+
+
+# ----------------------------------------------------------------------
+# Travel-line hypothesis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TravelLine:
+    """A (hypothesised) ship sailing line: a point plus a heading."""
+
+    point: Position
+    heading_rad: float
+
+    def signed_distance(self, position: Position) -> float:
+        """Signed perpendicular distance; positive on the port side."""
+        dx = position.x - self.point.x
+        dy = position.y - self.point.y
+        return -dx * math.sin(self.heading_rad) + dy * math.cos(self.heading_rad)
+
+    def distance(self, position: Position) -> float:
+        """Unsigned perpendicular distance [m]."""
+        return abs(self.signed_distance(position))
+
+    @classmethod
+    def fit_from_reports(cls, reports: Sequence[NodeReport]) -> "TravelLine":
+        """Estimate the travel line from the reports themselves.
+
+        Per row, the highest-energy report marks the closest approach of
+        the sailing line (eq. 1: energy decays with distance); a
+        least-squares line through those points is the hypothesis a
+        cluster head can form without ground truth.
+        """
+        by_row: dict[int, NodeReport] = {}
+        for r in reports:
+            best = by_row.get(r.row)
+            if best is None or r.energy > best.energy:
+                by_row[r.row] = r
+        anchors = [by_row[k].position for k in sorted(by_row)]
+        if len(anchors) < 2:
+            raise GeometryError(
+                "need reports in at least two rows to fit a travel line"
+            )
+        xs = [p.x for p in anchors]
+        ys = [p.y for p in anchors]
+        n = len(anchors)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        sxx = sum((x - mx) ** 2 for x in xs)
+        syy = sum((y - my) ** 2 for y in ys)
+        sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        # Principal axis of the anchor cloud = sailing direction.
+        heading = 0.5 * math.atan2(2.0 * sxy, sxx - syy)
+        # atan2 form gives the major axis only when sxx >= syy; fix up.
+        if syy > sxx and abs(sxy) < 1e-12:
+            heading = math.pi / 2.0
+        return cls(point=Position(mx, my), heading_rad=heading)
+
+
+# ----------------------------------------------------------------------
+# Static clusters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StaticCluster:
+    """One geographic cell formed after deployment (Sec. IV-C.1)."""
+
+    cluster_id: int
+    member_ids: tuple[int, ...]
+    head_id: int
+
+    def __post_init__(self) -> None:
+        if self.head_id not in self.member_ids:
+            raise ConfigurationError("static cluster head must be a member")
+
+
+def partition_static_clusters(
+    positions: dict[int, Position], cell_size_m: float
+) -> list[StaticCluster]:
+    """Partition nodes into square geographic cells.
+
+    The node nearest its cell's centroid becomes the static head (the
+    paper allows "either a normal node or a high energy node").
+    """
+    if cell_size_m <= 0:
+        raise ConfigurationError(
+            f"cell_size_m must be positive, got {cell_size_m}"
+        )
+    if not positions:
+        return []
+    cells: dict[tuple[int, int], list[int]] = {}
+    for node_id, pos in positions.items():
+        key = (
+            int(math.floor(pos.x / cell_size_m)),
+            int(math.floor(pos.y / cell_size_m)),
+        )
+        cells.setdefault(key, []).append(node_id)
+    clusters: list[StaticCluster] = []
+    for cluster_id, key in enumerate(sorted(cells)):
+        members = sorted(cells[key])
+        cx = (key[0] + 0.5) * cell_size_m
+        cy = (key[1] + 0.5) * cell_size_m
+        head = min(
+            members,
+            key=lambda nid: positions[nid].distance_to(Position(cx, cy)),
+        )
+        clusters.append(
+            StaticCluster(
+                cluster_id=cluster_id,
+                member_ids=tuple(members),
+                head_id=head,
+            )
+        )
+    return clusters
+
+
+# ----------------------------------------------------------------------
+# Temporary clusters
+# ----------------------------------------------------------------------
+class ClusterEvent(Enum):
+    """Lifecycle outcomes of a temporary cluster."""
+
+    CANCELLED_TOO_FEW = "cancelled-too-few-reports"
+    REJECTED_LOW_CORRELATION = "rejected-low-correlation"
+    CONFIRMED = "confirmed"
+
+
+@dataclass(frozen=True)
+class TemporaryClusterConfig:
+    """Tunables of the temporary-cluster state machine."""
+
+    hops: int = TEMP_CLUSTER_HOPS
+    #: The wedge front needs ``grid_span * cot(19.47 deg) / V`` seconds
+    #: to sweep the whole field (~70 s for 10 knots over the paper's
+    #: 125 m grid); the collection window must cover that sweep.
+    collection_timeout_s: float = 120.0
+    #: "If the cluster head has not received any reporting within a
+    #: certain period of time, it will cancel the temporary cluster" —
+    #: a lone initiator gives up after this much quiet, so an isolated
+    #: false alarm cannot hold the cluster open across a later event.
+    quiet_timeout_s: float = 30.0
+    min_reports: int = 5
+    #: "If the cluster consists of at least 4 rows of nodes, the
+    #: cluster-head can report the detection to the sink when the
+    #: correlation coefficient C exceeds 0.4" (Sec. V-B.1): clusters
+    #: spanning fewer reporting rows are never confirmed — a pair of
+    #: single-report rows would otherwise score a perfect C.
+    min_rows: int = 4
+    correlation_threshold: float = CORRELATION_DECISION_THRESHOLD
+    estimate_speed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ConfigurationError(f"hops must be >= 1, got {self.hops}")
+        if self.collection_timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.collection_timeout_s}"
+            )
+        if not 0 < self.quiet_timeout_s <= self.collection_timeout_s:
+            raise ConfigurationError(
+                "quiet_timeout_s must be in (0, collection_timeout_s], got "
+                f"{self.quiet_timeout_s}"
+            )
+        if self.min_reports < 1:
+            raise ConfigurationError(
+                f"min_reports must be >= 1, got {self.min_reports}"
+            )
+        if self.min_rows < 1:
+            raise ConfigurationError(
+                f"min_rows must be >= 1, got {self.min_rows}"
+            )
+        if not 0.0 <= self.correlation_threshold <= 1.0:
+            raise ConfigurationError(
+                "correlation_threshold must be in [0, 1], got "
+                f"{self.correlation_threshold}"
+            )
+
+
+class TemporaryCluster:
+    """One on-demand cluster rooted at the first alarming node.
+
+    Drive it with :meth:`add_report` while the collection window is
+    open, then call :meth:`evaluate` (normally at
+    ``initiating_report.onset_time + config.collection_timeout_s``).
+    """
+
+    def __init__(
+        self,
+        initiator: NodeReport,
+        config: TemporaryClusterConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else TemporaryClusterConfig()
+        self.head_id = initiator.node_id
+        self.opened_at = initiator.onset_time
+        self._reports: dict[int, NodeReport] = {initiator.node_id: initiator}
+        self._closed = False
+
+    @property
+    def deadline(self) -> float:
+        """Local time at which collection closes.
+
+        While only the initiator has reported, the cluster lives on the
+        short quiet timeout; the first member report extends it to the
+        full collection window.
+        """
+        if len(self._reports) <= 1:
+            return self.opened_at + self.config.quiet_timeout_s
+        return self.opened_at + self.config.collection_timeout_s
+
+    @property
+    def reports(self) -> tuple[NodeReport, ...]:
+        """Reports collected so far, one per node (earliest onset kept)."""
+        return tuple(
+            sorted(self._reports.values(), key=lambda r: r.onset_time)
+        )
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`evaluate` has run."""
+        return self._closed
+
+    def add_report(self, report: NodeReport) -> bool:
+        """Collect a member report; returns False when out of window.
+
+        Duplicate reports from one node keep the higher-energy one
+        whole — onset and energy must stay from the same physical event
+        ("we only record the reports which have the highest detected
+        energy", Sec. V-B.2), otherwise a pre-event false alarm's onset
+        would be paired with the wake's energy and corrupt the eq. 9
+        time ordering.
+        """
+        if self._closed or report.onset_time > self.deadline:
+            return False
+        existing = self._reports.get(report.node_id)
+        if existing is None or report.energy > existing.energy:
+            self._reports[report.node_id] = report
+        return True
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def rows_for_correlation(
+        self, track: TravelLine
+    ) -> list[list[RowObservation]]:
+        """Project the collected reports onto eq. 9-12 row observations.
+
+        Rows are taken from the reports' grid row indices; every row
+        between the smallest and largest reporting row is included, so
+        silent rows inside the swept band contribute their zero (see
+        :mod:`repro.detection.correlation`).
+
+        Per the paper, "all the disturbed nodes can be separated into
+        two sides [of the travel line] ... we only consider one side of
+        the nodes": each row keeps only its better-populated side, which
+        removes the near-tie distances of nodes straddling the line.
+        """
+        by_row: dict[int, list[RowObservation]] = {}
+        for r in self._reports.values():
+            by_row.setdefault(r.row, []).append(
+                RowObservation(
+                    node_id=r.node_id,
+                    distance_to_track=track.distance(r.position),
+                    onset_time=r.onset_time,
+                    energy=r.energy,
+                    side=(
+                        1
+                        if track.signed_distance(r.position) >= 0
+                        else -1
+                    ),
+                )
+            )
+        lo = min(by_row)
+        hi = max(by_row)
+        return [
+            majority_side(by_row.get(i, [])) for i in range(lo, hi + 1)
+        ]
+
+    def evaluate(
+        self, track: TravelLine | None = None
+    ) -> tuple[ClusterEvent, Optional[ClusterReport]]:
+        """Close the cluster and fuse the collected reports.
+
+        ``track`` supplies the travel-line hypothesis; by default it is
+        fitted from the reports themselves
+        (:meth:`TravelLine.fit_from_reports`).
+        """
+        self._closed = True
+        reports = self.reports
+        if len(reports) < self.config.min_reports:
+            return ClusterEvent.CANCELLED_TOO_FEW, None
+        if track is None:
+            try:
+                track = TravelLine.fit_from_reports(reports)
+            except GeometryError:
+                return ClusterEvent.CANCELLED_TOO_FEW, None
+        rows = self.rows_for_correlation(track)
+        cnt, cne, c = cluster_correlation(rows)
+        populated_rows = sum(1 for row in rows if row)
+        confirmable = (
+            populated_rows >= self.config.min_rows
+            and c >= self.config.correlation_threshold
+        )
+        speed: Optional[SpeedEstimate] = None
+        if self.config.estimate_speed and confirmable:
+            speed = self._try_speed_estimate(track)
+        report = ClusterReport(
+            head_id=self.head_id,
+            reports=reports,
+            time_correlation=min(cnt, 1.0),
+            energy_correlation=min(cne, 1.0),
+            correlation=min(c, 1.0),
+            detection_time=max(r.onset_time for r in reports),
+            speed_estimate_mps=speed.speed_mean_mps if speed else None,
+            heading_alpha_deg=speed.alpha_deg if speed else None,
+            moving_direction=speed.direction if speed else 0,
+        )
+        if confirmable:
+            return ClusterEvent.CONFIRMED, report
+        return ClusterEvent.REJECTED_LOW_CORRELATION, report
+
+    def _try_speed_estimate(
+        self, track: TravelLine
+    ) -> Optional[SpeedEstimate]:
+        """Apply eq. 16 when the Fig. 10 four-node condition holds.
+
+        Needs two grid columns straddling the track, each reporting in
+        the same two adjacent rows.  Per test, only the highest-energy
+        candidates are used ("we only record the reports which have the
+        highest detected energy", Sec. V-B.2).
+        """
+        by_cell: dict[tuple[int, int], NodeReport] = {}
+        for r in self._reports.values():
+            key = (r.row, r.column)
+            best = by_cell.get(key)
+            if best is None or r.energy > best.energy:
+                by_cell[key] = r
+        columns: dict[int, dict[int, NodeReport]] = {}
+        for (row, col), r in by_cell.items():
+            columns.setdefault(col, {})[row] = r
+
+        def side(report: NodeReport) -> int:
+            s = track.signed_distance(report.position)
+            return 0 if s == 0.0 else (1 if s > 0 else -1)
+
+        best: Optional[SpeedEstimate] = None
+        best_energy = -1.0
+        for ci, rows_i in columns.items():
+            for cj, rows_j in columns.items():
+                if ci == cj:
+                    continue
+                shared = sorted(set(rows_i) & set(rows_j))
+                for r_lo, r_hi in zip(shared, shared[1:]):
+                    if r_hi != r_lo + 1:
+                        continue
+                    # Fig. 10 needs column i fully to port and column j
+                    # fully to starboard over the two rows used.
+                    if not (
+                        side(rows_i[r_lo]) > 0
+                        and side(rows_i[r_hi]) > 0
+                        and side(rows_j[r_lo]) < 0
+                        and side(rows_j[r_hi]) < 0
+                    ):
+                        continue
+                    a, b = rows_i[r_lo], rows_i[r_hi]
+                    # The port column is swept outward along the travel
+                    # direction: t1 is its earlier detection, and t3 is
+                    # the starboard node in t1's row.
+                    near_i, far_i = (a, b) if a.onset_time <= b.onset_time else (b, a)
+                    near_j = rows_j[near_i.row]
+                    far_j = rows_j[far_i.row]
+                    spacing = near_i.position.distance_to(far_i.position)
+                    try:
+                        est = estimate_ship_speed(
+                            spacing,
+                            near_i.onset_time,
+                            far_i.onset_time,
+                            near_j.onset_time,
+                            far_j.onset_time,
+                        )
+                        # "As for the moving direction of the ship, it
+                        # is easy to obtain with the timestamps of the
+                        # four nodes" (Sec. IV-C.2).
+                        direction = moving_direction(
+                            near_i.onset_time,
+                            far_i.onset_time,
+                            near_j.onset_time,
+                            far_j.onset_time,
+                        )
+                        est = SpeedEstimate(
+                            speed_pair_i_mps=est.speed_pair_i_mps,
+                            speed_pair_j_mps=est.speed_pair_j_mps,
+                            alpha_rad=est.alpha_rad,
+                            direction=direction,
+                        )
+                    except EstimationError:
+                        continue
+                    energy = (
+                        near_i.energy
+                        + far_i.energy
+                        + near_j.energy
+                        + far_j.energy
+                    )
+                    if energy > best_energy:
+                        best = est
+                        best_energy = energy
+        return best

@@ -1,0 +1,79 @@
+"""Node-level signal conditioning (paper Sec. IV-B).
+
+The node "filters out the frequency above 1Hz"; then, "because the
+z-accelerometer signal fluctuates around 1g, we minus this value and
+let the signal fluctuate around zero.  Before computing the average and
+standard deviation, we have the absolute value of those signal below
+zero" — i.e. the gravity-removed signal is full-wave rectified, because
+disturbances push the buoy both above and below 1 g.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    ACCEL_COUNTS_PER_G,
+    NODE_LOWPASS_CUTOFF_HZ,
+    SAMPLE_RATE_HZ,
+)
+from repro.errors import ConfigurationError
+from repro.dsp.filters import butter_lowpass, moving_average
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Parameters of the Sec. IV-B conditioning chain."""
+
+    rate_hz: float = SAMPLE_RATE_HZ
+    cutoff_hz: float = NODE_LOWPASS_CUTOFF_HZ
+    counts_per_g: float = ACCEL_COUNTS_PER_G
+    #: "butter" = zero-phase Butterworth (analysis path);
+    #: "moving-average" = causal FIR (what a mote would run online).
+    filter_kind: str = "butter"
+    rectify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigurationError(f"rate_hz must be positive, got {self.rate_hz}")
+        if not 0 < self.cutoff_hz < self.rate_hz / 2:
+            raise ConfigurationError(
+                f"cutoff {self.cutoff_hz} outside (0, Nyquist) for rate {self.rate_hz}"
+            )
+        if self.counts_per_g <= 0:
+            raise ConfigurationError(
+                f"counts_per_g must be positive, got {self.counts_per_g}"
+            )
+        if self.filter_kind not in ("butter", "moving-average"):
+            raise ConfigurationError(
+                f"filter_kind must be 'butter' or 'moving-average', got {self.filter_kind!r}"
+            )
+
+
+def lowpass_counts(
+    z_counts: np.ndarray, config: PreprocessConfig
+) -> np.ndarray:
+    """Apply the configured 1 Hz low-pass to raw z counts (floats out)."""
+    z = np.asarray(z_counts, dtype=float)
+    if config.filter_kind == "butter":
+        return butter_lowpass(z, config.cutoff_hz, config.rate_hz)
+    width = max(int(round(config.rate_hz / config.cutoff_hz)), 1)
+    return moving_average(z, width)
+
+
+def preprocess_z_counts(
+    z_counts: np.ndarray, config: PreprocessConfig | None = None
+) -> np.ndarray:
+    """Full Sec. IV-B chain: low-pass, remove 1 g, rectify.
+
+    Returns the non-negative sample stream ``a_i`` that eqs. 4-8
+    operate on.
+    """
+    cfg = config if config is not None else PreprocessConfig()
+    filtered = lowpass_counts(z_counts, cfg)
+    zero_mean = filtered - cfg.counts_per_g
+    if cfg.rectify:
+        return np.abs(zero_mean)
+    return zero_mean

@@ -1,0 +1,114 @@
+"""Report records exchanged between detection tiers.
+
+Sec. IV-A: nodes transmit only extracted features (not raw samples) to
+the cluster head; cluster heads report fused decisions to the sink.
+These dataclasses are those features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """A node-level positive detection (Sec. IV-B).
+
+    "It reports E_delta and the onset time when the signal first
+    exceeds the threshold."
+    """
+
+    node_id: int
+    position: Position
+    onset_time: float
+    energy: float
+    anomaly_frequency: float
+    row: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.energy < 0:
+            raise ConfigurationError(f"energy must be >= 0, got {self.energy}")
+        if not 0.0 <= self.anomaly_frequency <= 1.0:
+            raise ConfigurationError(
+                f"anomaly frequency must be in [0, 1], got {self.anomaly_frequency}"
+            )
+
+    #: Wire size used by the network layer for energy/latency accounting.
+    WIRE_BYTES = 24
+
+
+@dataclass(frozen=True)
+class RowObservation:
+    """One report projected into the correlation geometry of eqs. 9-12.
+
+    ``side`` is the sign of the node's offset from the travel line
+    (+1 port / -1 starboard); the paper evaluates each row on one side
+    only ("we only consider one side of the nodes").
+    """
+
+    node_id: int
+    distance_to_track: float
+    onset_time: float
+    energy: float
+    side: int = 1
+
+    def __post_init__(self) -> None:
+        if self.distance_to_track < 0:
+            raise ConfigurationError(
+                f"distance must be >= 0, got {self.distance_to_track}"
+            )
+        if self.side not in (-1, 1):
+            raise ConfigurationError(f"side must be +1 or -1, got {self.side}")
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """A temporary-cluster head's fused detection (Sec. IV-C)."""
+
+    head_id: int
+    reports: tuple[NodeReport, ...]
+    time_correlation: float
+    energy_correlation: float
+    correlation: float
+    detection_time: float
+    speed_estimate_mps: Optional[float] = None
+    heading_alpha_deg: Optional[float] = None
+    #: Row-sweep direction of the intruder (+1 / -1), 0 when unknown.
+    moving_direction: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("time_correlation", "energy_correlation", "correlation"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+
+    @property
+    def n_reports(self) -> int:
+        """Number of member reports fused into this cluster report."""
+        return len(self.reports)
+
+    #: Wire size for the network layer.
+    WIRE_BYTES = 48
+
+
+@dataclass(frozen=True)
+class SinkDecision:
+    """The sink's final verdict on one suspected intrusion event."""
+
+    intrusion: bool
+    time: float
+    cluster_reports: tuple[ClusterReport, ...] = field(default_factory=tuple)
+    speed_estimate_mps: Optional[float] = None
+    heading_alpha_deg: Optional[float] = None
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of cluster reports behind this decision."""
+        return len(self.cluster_reports)

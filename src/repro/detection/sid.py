@@ -1,0 +1,237 @@
+"""Algorithm SID: the paper's per-node pseudocode, wired end to end.
+
+The node-side algorithm (paper Sec. IV-D) has four procedures:
+
+- **Initialization** — sample ``u`` data, compute the eq.-4 statistics,
+  start detecting;
+- **DetectIntrusion** — per window: compute ``D_i``; if ``af`` passes
+  the threshold either set up a temporary cluster or report to the
+  existing temporary cluster head; otherwise fold the window into the
+  eq.-5 baseline;
+- **SetUpTempCluster** — become head, inform nodes within six hops,
+  start the evaluation timer;
+- **SpaceTimeDataProcessing** — when the timer fires, evaluate the
+  spatial/temporal correlations; report to the local (static) cluster
+  head when correlated, and compute the ship speed (eq. 16) when the
+  four-node condition holds.
+
+:class:`SIDNode` is a *pure state machine*: it consumes sample windows
+and peer messages and returns :class:`SIDAction` values describing what
+the node wants transmitted.  Both the in-process scenario runner and
+the discrete-event network stack drive it, so protocol behaviour is
+identical with and without a lossy radio in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.detection.cluster import (
+    ClusterEvent,
+    TemporaryCluster,
+    TemporaryClusterConfig,
+    TravelLine,
+)
+from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
+from repro.detection.reports import ClusterReport, NodeReport
+from repro.errors import ProtocolError
+from repro.types import Position
+
+
+class SIDState(Enum):
+    """Top-level node states."""
+
+    INITIALIZING = "initializing"
+    MONITORING = "monitoring"
+    TEMP_CLUSTER_HEAD = "temp-cluster-head"
+    TEMP_CLUSTER_MEMBER = "temp-cluster-member"
+
+
+# ----------------------------------------------------------------------
+# Actions the node asks its network layer to perform
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SetupClusterAction:
+    """Broadcast cluster setup to neighbours within ``hops`` hops."""
+
+    initiator: NodeReport
+    hops: int
+
+
+@dataclass(frozen=True)
+class MemberReportAction:
+    """Unicast a positive report to the temporary cluster head."""
+
+    head_id: int
+    report: NodeReport
+
+
+@dataclass(frozen=True)
+class ClusterResultAction:
+    """Send a fused cluster report toward the static head / sink."""
+
+    report: ClusterReport
+    event: ClusterEvent
+
+
+@dataclass(frozen=True)
+class CancelClusterAction:
+    """Tear the temporary cluster down (false alarm)."""
+
+    head_id: int
+
+
+SIDAction = Union[
+    SetupClusterAction,
+    MemberReportAction,
+    ClusterResultAction,
+    CancelClusterAction,
+]
+
+
+@dataclass(frozen=True)
+class SIDNodeConfig:
+    """Bundled configuration for one SID node."""
+
+    detector: NodeDetectorConfig = field(default_factory=NodeDetectorConfig)
+    cluster: TemporaryClusterConfig = field(
+        default_factory=TemporaryClusterConfig
+    )
+    #: Membership in a temporary cluster expires after this long without
+    #: the head confirming (protects members when the head dies).  Must
+    #: exceed the cluster collection window.
+    membership_ttl_s: float = 180.0
+
+
+class SIDNode:
+    """One node running Algorithm SID."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Position,
+        config: SIDNodeConfig | None = None,
+        row: int = 0,
+        column: int = 0,
+        track_hint: TravelLine | None = None,
+    ) -> None:
+        self.config = config if config is not None else SIDNodeConfig()
+        self.node_id = node_id
+        self.position = position
+        self.detector = NodeDetector(
+            node_id, position, self.config.detector, row=row, column=column
+        )
+        #: Optional externally supplied travel-line hypothesis (used by
+        #: the controlled Table I/II experiments); None = fit from data.
+        self.track_hint = track_hint
+        self._state = SIDState.INITIALIZING
+        self._cluster: Optional[TemporaryCluster] = None
+        self._member_of: Optional[int] = None
+        self._member_since: float = 0.0
+
+    @property
+    def state(self) -> SIDState:
+        """Current node state."""
+        if not self.detector.initialized:
+            return SIDState.INITIALIZING
+        if self._cluster is not None and not self._cluster.closed:
+            return SIDState.TEMP_CLUSTER_HEAD
+        if self._member_of is not None:
+            return SIDState.TEMP_CLUSTER_MEMBER
+        return SIDState.MONITORING
+
+    @property
+    def in_temp_cluster(self) -> bool:
+        """The pseudocode's ``NotInTempCluster`` flag, inverted."""
+        return self.state in (
+            SIDState.TEMP_CLUSTER_HEAD,
+            SIDState.TEMP_CLUSTER_MEMBER,
+        )
+
+    # ------------------------------------------------------------------
+    # DetectIntrusion
+    # ------------------------------------------------------------------
+    def on_samples(self, a_window: np.ndarray, t0: float) -> list[SIDAction]:
+        """Process one preprocessed Delta-t window (DetectIntrusion)."""
+        self._expire_membership(t0)
+        report = self.detector.process_window(a_window, t0)
+        if report is None:
+            return []
+        if self.state == SIDState.TEMP_CLUSTER_HEAD:
+            assert self._cluster is not None
+            self._cluster.add_report(report)
+            return []
+        if self.state == SIDState.TEMP_CLUSTER_MEMBER:
+            assert self._member_of is not None
+            return [
+                MemberReportAction(head_id=self._member_of, report=report)
+            ]
+        # NotInTempCluster -> SetUpTempCluster
+        self._cluster = TemporaryCluster(report, self.config.cluster)
+        return [
+            SetupClusterAction(
+                initiator=report, hops=self.config.cluster.hops
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Peer messages
+    # ------------------------------------------------------------------
+    def on_cluster_setup(self, head_id: int, t: float) -> None:
+        """A neighbour announced a temporary cluster; join as member.
+
+        A node already heading its own cluster ignores the invite (the
+        two heads' reports still reach the sink independently).
+        """
+        if head_id == self.node_id:
+            raise ProtocolError("node received its own cluster setup")
+        if self.state == SIDState.TEMP_CLUSTER_HEAD:
+            return
+        self._member_of = head_id
+        self._member_since = t
+
+    def on_cluster_cancel(self, head_id: int) -> None:
+        """The head cancelled; leave the cluster."""
+        if self._member_of == head_id:
+            self._member_of = None
+
+    def on_member_report(self, report: NodeReport) -> None:
+        """Head side: collect a member's positive report."""
+        if self._cluster is None or self._cluster.closed:
+            # Late report after evaluation - drop (paper: reports must
+            # arrive "within a certain period of time").
+            return
+        self._cluster.add_report(report)
+
+    # ------------------------------------------------------------------
+    # SpaceTimeDataProcessing
+    # ------------------------------------------------------------------
+    def on_timer(self, t: float) -> list[SIDAction]:
+        """Evaluation timer tick; fires SpaceTimeDataProcessing when due."""
+        self._expire_membership(t)
+        if self._cluster is None or self._cluster.closed:
+            return []
+        if t < self._cluster.deadline:
+            return []
+        event, report = self._cluster.evaluate(self.track_hint)
+        head_id = self.node_id
+        self._cluster = None
+        if event == ClusterEvent.CONFIRMED and report is not None:
+            # Only correlated detections travel to the sink (Sec. V-B.1);
+            # everything else tears the temporary cluster down.
+            return [
+                ClusterResultAction(report=report, event=event),
+                CancelClusterAction(head_id=head_id),
+            ]
+        return [CancelClusterAction(head_id=head_id)]
+
+    def _expire_membership(self, t: float) -> None:
+        if (
+            self._member_of is not None
+            and t - self._member_since > self.config.membership_ttl_s
+        ):
+            self._member_of = None

@@ -1,0 +1,113 @@
+"""Sink-level fusion (paper Sec. IV-A).
+
+"The sink-level detection involves processing the data sent from local
+head nodes, and the final decision will be reported to the external
+user."  The sink merges cluster reports that describe the same physical
+event (close in time), confirms an intrusion when any merged group
+clears the correlation threshold, and aggregates the speed estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import CORRELATION_DECISION_THRESHOLD
+from repro.detection.reports import ClusterReport, SinkDecision
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SinkConfig:
+    """Sink fusion parameters."""
+
+    merge_window_s: float = 60.0
+    correlation_threshold: float = CORRELATION_DECISION_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.merge_window_s <= 0:
+            raise ConfigurationError(
+                f"merge_window_s must be positive, got {self.merge_window_s}"
+            )
+        if not 0.0 <= self.correlation_threshold <= 1.0:
+            raise ConfigurationError(
+                "correlation_threshold must be in [0, 1], got "
+                f"{self.correlation_threshold}"
+            )
+
+
+class Sink:
+    """The network sink: accumulates cluster reports, emits decisions."""
+
+    def __init__(self, config: SinkConfig | None = None) -> None:
+        self.config = config if config is not None else SinkConfig()
+        self._pending: list[ClusterReport] = []
+        self._decisions: list[SinkDecision] = []
+
+    @property
+    def decisions(self) -> tuple[SinkDecision, ...]:
+        """Decisions finalised so far."""
+        return tuple(self._decisions)
+
+    @property
+    def pending_reports(self) -> tuple[ClusterReport, ...]:
+        """Cluster reports awaiting their merge window to close."""
+        return tuple(self._pending)
+
+    def receive(self, report: ClusterReport) -> SinkDecision | None:
+        """Ingest one cluster report.
+
+        Reports within ``merge_window_s`` of the pending group describe
+        the same event and accumulate; a report beyond the window first
+        finalises the pending group (returning its decision) and then
+        opens a new group.
+        """
+        if self._pending and (
+            report.detection_time
+            - max(r.detection_time for r in self._pending)
+            > self.config.merge_window_s
+        ):
+            decision = self._finalize()
+            self._pending = [report]
+            return decision
+        self._pending.append(report)
+        return None
+
+    def flush(self) -> SinkDecision | None:
+        """Finalise the pending group (end of scenario or of epoch)."""
+        if not self._pending:
+            return None
+        return self._finalize()
+
+    def _finalize(self) -> SinkDecision:
+        group = tuple(
+            sorted(self._pending, key=lambda r: r.detection_time)
+        )
+        self._pending = []
+        confirmed = [
+            r
+            for r in group
+            if r.correlation >= self.config.correlation_threshold
+        ]
+        speeds = [
+            r.speed_estimate_mps
+            for r in confirmed
+            if r.speed_estimate_mps is not None
+        ]
+        headings = [
+            r.heading_alpha_deg
+            for r in confirmed
+            if r.heading_alpha_deg is not None
+        ]
+        decision = SinkDecision(
+            intrusion=bool(confirmed),
+            time=max(r.detection_time for r in group),
+            cluster_reports=group,
+            speed_estimate_mps=(
+                sum(speeds) / len(speeds) if speeds else None
+            ),
+            heading_alpha_deg=(
+                sum(headings) / len(headings) if headings else None
+            ),
+        )
+        self._decisions.append(decision)
+        return decision

@@ -1,0 +1,168 @@
+"""Spectral features quantifying the paper's Fig. 6 observation.
+
+Ocean-wave-only segments show "a high, single peak concentration";
+segments with ship waves show "multiple peaks and wide crests without
+distinct peaks".  These helpers turn that qualitative statement into
+numbers: peak count, dominant-peak width, band energy and spectral
+entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalLengthError
+
+
+def smooth_spectrum(power: np.ndarray, width_bins: int = 9) -> np.ndarray:
+    """Centred moving-average smoothing of a power spectrum.
+
+    Raw FFT bins of a stochastic sea are chi-squared noisy; the paper's
+    "single peak" vs "multiple peaks and wide crests" contrast refers to
+    the smoothed spectral envelope, so peak statistics are computed on
+    this smoothed form.
+    """
+    p = np.asarray(power, dtype=float)
+    if width_bins < 1:
+        raise ConfigurationError(
+            f"width_bins must be >= 1, got {width_bins}"
+        )
+    if width_bins == 1 or p.size == 0:
+        return p.copy()
+    # The kernel must be odd (symmetric centring) and fit in the signal.
+    largest_odd_fit = p.size if p.size % 2 == 1 else p.size - 1
+    width = min(width_bins | 1, largest_odd_fit)
+    if width < 3:
+        return p.copy()
+    kernel = np.ones(width) / width
+    padded = np.pad(p, width // 2, mode="edge")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def count_spectral_peaks(
+    power: np.ndarray,
+    min_rel_height: float = 0.2,
+    min_separation_bins: int = 2,
+) -> int:
+    """Number of distinct local maxima above ``min_rel_height * max``.
+
+    Neighbouring maxima closer than ``min_separation_bins`` are merged
+    into one peak (the taller survives).
+    """
+    p = np.asarray(power, dtype=float)
+    if p.size < 3:
+        raise SignalLengthError(f"need >= 3 spectral bins, got {p.size}")
+    if not 0 < min_rel_height <= 1:
+        raise ConfigurationError(
+            f"min_rel_height must be in (0, 1], got {min_rel_height}"
+        )
+    pmax = p.max()
+    if pmax <= 0:
+        return 0
+    threshold = min_rel_height * pmax
+    is_peak = (p[1:-1] >= p[:-2]) & (p[1:-1] > p[2:]) & (p[1:-1] >= threshold)
+    idx = np.flatnonzero(is_peak) + 1
+    if idx.size == 0:
+        return 0
+    kept: list[int] = []
+    for i in idx:
+        if kept and i - kept[-1] < min_separation_bins:
+            if p[i] > p[kept[-1]]:
+                kept[-1] = i
+        else:
+            kept.append(int(i))
+    return len(kept)
+
+
+def peak_width_hz(
+    frequencies_hz: np.ndarray, power: np.ndarray, rel_height: float = 0.5
+) -> float:
+    """Width of the dominant peak at ``rel_height`` of its maximum [Hz].
+
+    Measured as the frequency span of the contiguous region around the
+    maximum that stays above ``rel_height * max``.  Wide crests (ship
+    present) give large values; a single sharp ambient peak gives small
+    ones.
+    """
+    f = np.asarray(frequencies_hz, dtype=float)
+    p = np.asarray(power, dtype=float)
+    if f.size != p.size:
+        raise ConfigurationError("frequency and power arrays must match")
+    if p.size < 3:
+        raise SignalLengthError(f"need >= 3 spectral bins, got {p.size}")
+    imax = int(np.argmax(p))
+    cut = rel_height * p[imax]
+    lo = imax
+    while lo > 0 and p[lo - 1] >= cut:
+        lo -= 1
+    hi = imax
+    while hi < p.size - 1 and p[hi + 1] >= cut:
+        hi += 1
+    return float(f[hi] - f[lo])
+
+
+def band_energy(
+    frequencies_hz: np.ndarray,
+    power: np.ndarray,
+    f_lo: float,
+    f_hi: float,
+) -> float:
+    """Total power inside ``[f_lo, f_hi]``."""
+    f = np.asarray(frequencies_hz, dtype=float)
+    p = np.asarray(power, dtype=float)
+    if f.size != p.size:
+        raise ConfigurationError("frequency and power arrays must match")
+    if f_hi < f_lo:
+        raise ConfigurationError(f"f_hi ({f_hi}) < f_lo ({f_lo})")
+    mask = (f >= f_lo) & (f <= f_hi)
+    return float(p[mask].sum())
+
+
+def spectral_entropy(power: np.ndarray) -> float:
+    """Shannon entropy of the normalised spectrum, in nats.
+
+    Low for a single concentrated peak, higher when energy spreads over
+    multiple peaks and wide crests.
+    """
+    p = np.asarray(power, dtype=float)
+    total = p.sum()
+    if p.size == 0 or total <= 0:
+        return 0.0
+    q = p / total
+    q = q[q > 0]
+    return float(-(q * np.log(q)).sum())
+
+
+@dataclass(frozen=True)
+class SpectralFeatures:
+    """Summary of one power spectrum, for classification experiments."""
+
+    n_peaks: int
+    dominant_frequency_hz: float
+    dominant_peak_width_hz: float
+    entropy_nats: float
+    total_power: float
+
+
+def summarize_spectrum(
+    frequencies_hz: np.ndarray,
+    power: np.ndarray,
+    min_rel_height: float = 0.2,
+) -> SpectralFeatures:
+    """Compute the full :class:`SpectralFeatures` record for a spectrum."""
+    f = np.asarray(frequencies_hz, dtype=float)
+    p = np.asarray(power, dtype=float)
+    if f.size != p.size:
+        raise ConfigurationError("frequency and power arrays must match")
+    if p.size < 3:
+        raise SignalLengthError(f"need >= 3 spectral bins, got {p.size}")
+    imax = int(np.argmax(p))
+    return SpectralFeatures(
+        n_peaks=count_spectral_peaks(p, min_rel_height=min_rel_height),
+        dominant_frequency_hz=float(f[imax]),
+        dominant_peak_width_hz=peak_width_hz(f, p),
+        entropy_nats=spectral_entropy(p),
+        total_power=float(p.sum()),
+    )

@@ -1,0 +1,88 @@
+"""Time-domain filtering used by node-level detection (paper Sec. IV-B).
+
+"After deployment of the node, the node first samples for a period of
+time, then filters out the frequency above 1Hz" — implemented as a
+zero-phase Butterworth low-pass (the offline analysis path) and as a
+causal moving average (the cheap on-mote path a real iMote2 would run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.constants import NODE_LOWPASS_CUTOFF_HZ, SAMPLE_RATE_HZ
+from repro.errors import ConfigurationError, SignalLengthError
+
+
+def butter_lowpass(
+    x: np.ndarray,
+    cutoff_hz: float = NODE_LOWPASS_CUTOFF_HZ,
+    rate_hz: float = SAMPLE_RATE_HZ,
+    order: int = 4,
+    zero_phase: bool = True,
+) -> np.ndarray:
+    """Butterworth low-pass filter.
+
+    ``zero_phase=True`` applies the filter forward and backward
+    (``filtfilt``), preserving wave-train onset times — important
+    because the detector reports the onset timestamp to the cluster
+    head.  ``zero_phase=False`` gives the causal single-pass variant.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size < 3 * (order + 1):
+        raise SignalLengthError(
+            f"signal too short ({x.size}) for order-{order} filtering"
+        )
+    if not 0 < cutoff_hz < rate_hz / 2:
+        raise ConfigurationError(
+            f"cutoff {cutoff_hz} Hz outside (0, Nyquist={rate_hz / 2}) range"
+        )
+    sos = sp_signal.butter(order, cutoff_hz, btype="low", fs=rate_hz, output="sos")
+    if zero_phase:
+        return sp_signal.sosfiltfilt(sos, x)
+    return sp_signal.sosfilt(sos, x)
+
+
+def moving_average(x: np.ndarray, width: int) -> np.ndarray:
+    """Causal moving-average FIR low-pass of ``width`` samples.
+
+    The first ``width - 1`` outputs average over the shorter available
+    history, so the output has no startup transient toward zero and the
+    same length as the input.  A 50-sample width at 50 Hz puts the first
+    null at 1 Hz — a mote-friendly stand-in for the Butterworth filter.
+    """
+    x = np.asarray(x, dtype=float)
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if x.size == 0:
+        return x.copy()
+    csum = np.cumsum(x)
+    out = np.empty_like(x)
+    if x.size <= width:
+        out[:] = csum / np.arange(1, x.size + 1)
+        return out
+    out[:width] = csum[:width] / np.arange(1, width + 1)
+    out[width:] = (csum[width:] - csum[:-width]) / width
+    return out
+
+
+def detrend_mean(x: np.ndarray) -> np.ndarray:
+    """Remove the signal mean."""
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        return x.copy()
+    return x - x.mean()
+
+
+def remove_gravity(z_counts: np.ndarray, counts_per_g: float) -> np.ndarray:
+    """Subtract the 1 g standing offset from z-axis counts.
+
+    "Because the z-accelerometer signal fluctuates around 1g, we minus
+    this value and let the signal fluctuate around zero" (Sec. IV-B).
+    """
+    if counts_per_g <= 0:
+        raise ConfigurationError(
+            f"counts_per_g must be positive, got {counts_per_g}"
+        )
+    return np.asarray(z_counts, dtype=float) - counts_per_g

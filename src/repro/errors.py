@@ -1,0 +1,31 @@
+"""Exception hierarchy for the SID reproduction library."""
+
+from __future__ import annotations
+
+
+class SIDError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(SIDError):
+    """A component was constructed with invalid parameters."""
+
+
+class SignalLengthError(SIDError):
+    """An operation received a signal that is too short or empty."""
+
+
+class GeometryError(SIDError):
+    """A geometric computation received a degenerate configuration."""
+
+
+class SimulationError(SIDError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(SIDError):
+    """A network protocol message violated the expected state machine."""
+
+
+class EstimationError(SIDError):
+    """A quantity (e.g. ship speed) could not be estimated from the data."""

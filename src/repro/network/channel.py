@@ -1,0 +1,173 @@
+"""Radio channel: path loss, shadowing and packet error rate.
+
+A standard log-distance model calibrated to CC2420-class 802.15.4
+radios at sea level:
+
+``P_rx = P_tx - [PL(d0) + 10 n log10(d / d0) + X_sigma]``
+
+with log-normal shadowing ``X_sigma`` frozen per link (slow fading from
+buoy geometry) and an SNR-to-PER logistic that yields the familiar
+transitional region: links well inside the range are near-perfect,
+links near the edge are lossy — the "wireless communication errors"
+whose impact Sec. IV-C's cluster fusion absorbs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, make_rng
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Channel model parameters."""
+
+    tx_power_dbm: float = 0.0
+    path_loss_d0_db: float = 55.0
+    reference_distance_m: float = 1.0
+    path_loss_exponent: float = 2.2
+    shadowing_sigma_db: float = 3.0
+    noise_floor_dbm: float = -95.0
+    #: SNR at which PER = 50 %.
+    snr_per50_db: float = 2.0
+    #: Logistic steepness of the SNR -> delivery curve [dB].
+    snr_slope_db: float = 2.0
+    #: Extra frame-loss probability applied uniformly (interference).
+    base_loss_rate: float = 0.0
+    #: Radio bit rate for transmission-delay accounting [bit/s].
+    bitrate_bps: float = 250_000.0
+    #: Propagation + processing latency floor [s].
+    latency_floor_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.reference_distance_m <= 0:
+            raise ConfigurationError("reference distance must be positive")
+        if self.path_loss_exponent <= 0:
+            raise ConfigurationError("path loss exponent must be positive")
+        if self.shadowing_sigma_db < 0:
+            raise ConfigurationError("shadowing sigma must be >= 0")
+        if not 0.0 <= self.base_loss_rate < 1.0:
+            raise ConfigurationError(
+                f"base_loss_rate must be in [0, 1), got {self.base_loss_rate}"
+            )
+        if self.bitrate_bps <= 0:
+            raise ConfigurationError("bitrate must be positive")
+        if self.snr_slope_db <= 0:
+            raise ConfigurationError("snr_slope_db must be positive")
+
+
+class Channel:
+    """The shared medium between all node radios."""
+
+    def __init__(
+        self, config: ChannelConfig | None = None, seed: RandomState = None
+    ) -> None:
+        self.config = config if config is not None else ChannelConfig()
+        self._rng = make_rng(seed)
+        self._link_shadowing: dict[tuple[int, int], float] = {}
+
+    def _shadowing_db(self, src: int, dst: int) -> float:
+        """Per-link log-normal shadowing, frozen and symmetric."""
+        key = (min(src, dst), max(src, dst))
+        if key not in self._link_shadowing:
+            self._link_shadowing[key] = float(
+                self._rng.normal(0.0, self.config.shadowing_sigma_db)
+            )
+        return self._link_shadowing[key]
+
+    def rx_power_dbm(
+        self, src: int, dst: int, src_pos: Position, dst_pos: Position
+    ) -> float:
+        """Received power over the (src, dst) link."""
+        cfg = self.config
+        d = max(src_pos.distance_to(dst_pos), cfg.reference_distance_m)
+        path_loss = cfg.path_loss_d0_db + 10.0 * cfg.path_loss_exponent * (
+            math.log10(d / cfg.reference_distance_m)
+        )
+        return cfg.tx_power_dbm - path_loss - self._shadowing_db(src, dst)
+
+    def snr_db(
+        self, src: int, dst: int, src_pos: Position, dst_pos: Position
+    ) -> float:
+        """Signal-to-noise ratio of the link."""
+        return (
+            self.rx_power_dbm(src, dst, src_pos, dst_pos)
+            - self.config.noise_floor_dbm
+        )
+
+    def delivery_probability(
+        self, src: int, dst: int, src_pos: Position, dst_pos: Position
+    ) -> float:
+        """Probability one frame survives the link (before MAC retries)."""
+        cfg = self.config
+        snr = self.snr_db(src, dst, src_pos, dst_pos)
+        p_snr = 1.0 / (
+            1.0 + math.exp(-(snr - cfg.snr_per50_db) / cfg.snr_slope_db)
+        )
+        return p_snr * (1.0 - cfg.base_loss_rate)
+
+    def attempt_delivery(
+        self, src: int, dst: int, src_pos: Position, dst_pos: Position
+    ) -> bool:
+        """Bernoulli draw for one frame over the link."""
+        return bool(
+            self._rng.random()
+            < self.delivery_probability(src, dst, src_pos, dst_pos)
+        )
+
+    def in_range(
+        self,
+        src: int,
+        dst: int,
+        src_pos: Position,
+        dst_pos: Position,
+        min_probability: float = 0.05,
+    ) -> bool:
+        """True when the link is usable at all (for topology building)."""
+        return (
+            self.delivery_probability(src, dst, src_pos, dst_pos)
+            >= min_probability
+        )
+
+    def airtime_s(self, size_bytes: int) -> float:
+        """Transmission time of a frame of ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ConfigurationError(
+                f"size_bytes must be positive, got {size_bytes}"
+            )
+        return (
+            self.config.latency_floor_s
+            + 8.0 * size_bytes / self.config.bitrate_bps
+        )
+
+    def communication_range_m(self, min_probability: float = 0.5) -> float:
+        """Distance at which median delivery drops to ``min_probability``.
+
+        Solved on the median channel (no shadowing); useful to pick
+        grid spacings that keep neighbours connected.
+        """
+        cfg = self.config
+        if not 0 < min_probability < 1:
+            raise ConfigurationError(
+                f"min_probability must be in (0, 1), got {min_probability}"
+            )
+        # Invert the logistic for the SNR needed, then the path loss.
+        p = min_probability / (1.0 - cfg.base_loss_rate)
+        if p >= 1.0:
+            return 0.0
+        snr_needed = cfg.snr_per50_db - cfg.snr_slope_db * math.log(
+            1.0 / p - 1.0
+        )
+        margin = (
+            cfg.tx_power_dbm
+            - cfg.path_loss_d0_db
+            - cfg.noise_floor_dbm
+            - snr_needed
+        )
+        return cfg.reference_distance_m * 10.0 ** (
+            margin / (10.0 * cfg.path_loss_exponent)
+        )

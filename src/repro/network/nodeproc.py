@@ -1,0 +1,359 @@
+"""Network processes: SID nodes and the sink wired onto the radio stack.
+
+:class:`SensorNetwork` owns the shared substrate (simulator, channel,
+MAC, routing) and the per-node processes.  :class:`NetworkNode` turns
+:class:`repro.detection.sid.SIDNode` actions into frames — the 6-hop
+cluster-setup flood, member-report unicasts to the temporary head, and
+multihop cluster reports toward the sink — and turns received frames
+back into SID callbacks.  :class:`SinkNode` feeds the detection-layer
+:class:`repro.detection.sink.Sink`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.detection.sid import (
+    CancelClusterAction,
+    ClusterResultAction,
+    MemberReportAction,
+    SIDAction,
+    SIDNode,
+    SetupClusterAction,
+)
+from repro.detection.cluster import partition_static_clusters
+from repro.detection.sink import Sink
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel
+from repro.network.mac import Mac, MacConfig
+from repro.network.messages import (
+    BROADCAST,
+    ClusterCancelMsg,
+    ClusterReportMsg,
+    ClusterSetupMsg,
+    Frame,
+    MemberReportMsg,
+)
+from repro.network.routing import RoutingTable, build_connectivity
+from repro.network.simulator import Simulator
+from repro.rng import RandomState, derive_rng, make_rng
+from repro.sensors.battery import Battery
+from repro.types import Position
+
+
+class SinkNode:
+    """The sink's network process."""
+
+    def __init__(self, node_id: int, position: Position, sink: Sink) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.sink = sink
+        self.received_frames = 0
+
+    def on_frame(self, frame: Frame, now: float) -> None:
+        """Deliver a frame that reached the sink."""
+        self.received_frames += 1
+        if isinstance(frame.payload, ClusterReportMsg):
+            self.sink.receive(frame.payload.report)
+
+
+class NetworkNode:
+    """One sensor node's network process."""
+
+    def __init__(
+        self,
+        network: "SensorNetwork",
+        sid: SIDNode,
+        battery: Optional[Battery] = None,
+    ) -> None:
+        self.network = network
+        self.sid = sid
+        self.battery = battery
+        self.node_id = sid.node_id
+        self.position = sid.position
+        #: Flood dedup: (head_id, onset_time) pairs already forwarded.
+        self._seen_setups: set[tuple[int, float]] = set()
+        self._seen_cancels: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Detection-side entry points
+    # ------------------------------------------------------------------
+    def feed_window(self, a_window, t0: float) -> None:
+        """Process one preprocessed sample window at its end time."""
+        if self.battery is not None and self.battery.depleted:
+            return
+        if self.battery is not None:
+            self.battery.draw_cpu(0.001 * len(a_window))
+        actions = self.sid.on_samples(a_window, t0)
+        self._dispatch(actions)
+        self._dispatch(self.sid.on_timer(self.network.sim.now))
+
+    def tick(self) -> None:
+        """Periodic timer (cluster deadline evaluation)."""
+        self._dispatch(self.sid.on_timer(self.network.sim.now))
+
+    # ------------------------------------------------------------------
+    # Action dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, actions: list[SIDAction]) -> None:
+        for action in actions:
+            if isinstance(action, SetupClusterAction):
+                msg = ClusterSetupMsg(
+                    head_id=self.node_id,
+                    hops_remaining=action.hops,
+                    onset_time=action.initiator.onset_time,
+                )
+                self._seen_setups.add((self.node_id, action.initiator.onset_time))
+                self.network.broadcast(self.node_id, msg)
+            elif isinstance(action, MemberReportAction):
+                self.network.unicast(
+                    self.node_id,
+                    action.head_id,
+                    MemberReportMsg(
+                        head_id=action.head_id, report=action.report
+                    ),
+                )
+            elif isinstance(action, ClusterResultAction):
+                # Sec. IV-C hierarchy: temporary head -> static cluster
+                # head -> sink.
+                static_head = self.network.static_head_of(self.node_id)
+                if static_head == self.node_id:
+                    self.network.send_to_sink(
+                        self.node_id, ClusterReportMsg(report=action.report)
+                    )
+                else:
+                    self.network.unicast(
+                        self.node_id,
+                        static_head,
+                        ClusterReportMsg(
+                            report=action.report,
+                            static_head_id=static_head,
+                        ),
+                    )
+            elif isinstance(action, CancelClusterAction):
+                msg = ClusterCancelMsg(head_id=self.node_id)
+                self._seen_cancels.add((self.node_id, 0))
+                self.network.broadcast(self.node_id, msg)
+
+    # ------------------------------------------------------------------
+    # Frame reception
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame, now: float) -> None:
+        """Handle one frame delivered to this node's radio."""
+        if self.battery is not None:
+            if not self.battery.draw_rx(frame.size_bytes):
+                return
+        payload = frame.payload
+        if isinstance(payload, ClusterSetupMsg):
+            key = (payload.head_id, payload.onset_time)
+            if key in self._seen_setups:
+                return
+            self._seen_setups.add(key)
+            if payload.head_id != self.node_id:
+                self.sid.on_cluster_setup(payload.head_id, now)
+            if payload.hops_remaining > 1:
+                self.network.broadcast(
+                    self.node_id,
+                    ClusterSetupMsg(
+                        head_id=payload.head_id,
+                        hops_remaining=payload.hops_remaining - 1,
+                        onset_time=payload.onset_time,
+                    ),
+                )
+        elif isinstance(payload, ClusterCancelMsg):
+            key = (payload.head_id, 0)
+            if key in self._seen_cancels:
+                return
+            self._seen_cancels.add(key)
+            if payload.head_id != self.node_id:
+                self.sid.on_cluster_cancel(payload.head_id)
+                self.network.broadcast(self.node_id, payload)
+        elif isinstance(payload, MemberReportMsg):
+            if payload.head_id == self.node_id:
+                self.sid.on_member_report(payload.report)
+                self._dispatch(self.sid.on_timer(now))
+            else:
+                self.network.unicast(self.node_id, payload.head_id, payload)
+        elif isinstance(payload, ClusterReportMsg):
+            if payload.static_head_id == self.node_id:
+                # We are the static head: strip the indirection and
+                # forward toward the sink.
+                self.network.send_to_sink(
+                    self.node_id, ClusterReportMsg(report=payload.report)
+                )
+            elif payload.static_head_id is None:
+                self.network.send_to_sink(self.node_id, payload)
+            else:
+                self.network.unicast(
+                    self.node_id, payload.static_head_id, payload
+                )
+
+
+class SensorNetwork:
+    """The whole deployed network: substrate + node processes + sink."""
+
+    def __init__(
+        self,
+        positions: dict[int, Position],
+        sink_id: int,
+        sink_position: Position,
+        sink: Sink,
+        channel: Optional[Channel] = None,
+        mac_config: Optional[MacConfig] = None,
+        seed: RandomState = None,
+    ) -> None:
+        if sink_id in positions:
+            raise ConfigurationError(
+                f"sink id {sink_id} collides with a sensor node id"
+            )
+        base = make_rng(seed)
+        root = int(base.integers(2**31))
+        self.sim = Simulator()
+        self.channel = (
+            channel
+            if channel is not None
+            else Channel(seed=derive_rng(root, "channel"))
+        )
+        self.mac = Mac(
+            self.sim, self.channel, mac_config, seed=derive_rng(root, "mac")
+        )
+        self.positions = dict(positions)
+        self.positions[sink_id] = sink_position
+        self.graph = build_connectivity(self.positions, self.channel)
+        self.routing = RoutingTable(self.graph, sink_id)
+        self.sink_node = SinkNode(sink_id, sink_position, sink)
+        self.nodes: dict[int, NetworkNode] = {}
+        self.lost_to_partition = 0
+        # Static geographic cells (Sec. IV-C.1); cell size of three
+        # grid spacings keeps a handful of cells over the paper grid.
+        sensor_positions = {
+            nid: pos for nid, pos in positions.items()
+        }
+        spacing_guess = self._median_neighbour_spacing(sensor_positions)
+        self.static_clusters = partition_static_clusters(
+            sensor_positions, cell_size_m=3.0 * spacing_guess
+        )
+        self._static_head: dict[int, int] = {}
+        for cluster in self.static_clusters:
+            for member in cluster.member_ids:
+                self._static_head[member] = cluster.head_id
+
+    def add_node(
+        self, sid: SIDNode, battery: Optional[Battery] = None
+    ) -> NetworkNode:
+        """Register one SID node process."""
+        if sid.node_id not in self.positions:
+            raise ConfigurationError(
+                f"node {sid.node_id} has no deployed position"
+            )
+        node = NetworkNode(self, sid, battery)
+        self.nodes[sid.node_id] = node
+        return node
+
+    @staticmethod
+    def _median_neighbour_spacing(positions: dict[int, Position]) -> float:
+        """Median nearest-neighbour distance, for static-cell sizing."""
+        ids = sorted(positions)
+        if len(ids) < 2:
+            return 25.0
+        nearest = []
+        for a in ids:
+            nearest.append(
+                min(
+                    positions[a].distance_to(positions[b])
+                    for b in ids
+                    if b != a
+                )
+            )
+        nearest.sort()
+        return nearest[len(nearest) // 2]
+
+    def static_head_of(self, node_id: int) -> int:
+        """The static cluster head responsible for ``node_id``."""
+        return self._static_head.get(node_id, node_id)
+
+    # ------------------------------------------------------------------
+    # Transport primitives
+    # ------------------------------------------------------------------
+    def _neighbours(self, node_id: int) -> list[int]:
+        return sorted(self.graph.neighbors(node_id))
+
+    def _deliver(self, dst: int, frame: Frame) -> None:
+        if dst == self.sink_node.node_id:
+            self.sink_node.on_frame(frame, self.sim.now)
+        elif dst in self.nodes:
+            self.nodes[dst].on_frame(frame, self.sim.now)
+
+    def _bill_tx(self, src: int, frame: Frame) -> bool:
+        """Charge the sender's battery; False when the node is dead."""
+        node = self.nodes.get(src)
+        if node is None or node.battery is None:
+            return True
+        return node.battery.draw_tx(frame.size_bytes)
+
+    def broadcast(self, src: int, payload) -> None:
+        """Link-local broadcast: every neighbour draws its own link."""
+        frame = Frame(src=src, dst=BROADCAST, payload=payload)
+        if not self._bill_tx(src, frame):
+            return
+        neighbours = self._neighbours(src)
+        src_pos = self.positions[src]
+
+        def fan_out(sent: Frame) -> None:
+            for nid in neighbours:
+                if self.channel.attempt_delivery(
+                    src, nid, src_pos, self.positions[nid]
+                ):
+                    self._deliver(nid, sent)
+
+        self.mac.send(
+            frame,
+            src_pos,
+            None,
+            neighbours,
+            on_delivered=fan_out,
+        )
+
+    def unicast(self, src: int, dst: int, payload) -> None:
+        """One-hop-at-a-time unicast along the shortest path to ``dst``."""
+        if dst not in self.graph or src not in self.graph:
+            self.lost_to_partition += 1
+            return
+        try:
+            path = nx.shortest_path(self.graph, src, dst)
+        except nx.NetworkXNoPath:
+            self.lost_to_partition += 1
+            return
+        if len(path) < 2:
+            return
+        next_hop = path[1]
+        frame = Frame(src=src, dst=next_hop, payload=payload)
+        if not self._bill_tx(src, frame):
+            return
+        self.mac.send(
+            frame,
+            self.positions[src],
+            self.positions[next_hop],
+            self._neighbours(src),
+            on_delivered=lambda f: self._deliver(next_hop, f),
+        )
+
+    def send_to_sink(self, src: int, payload) -> None:
+        """Forward toward the sink via the routing tree."""
+        next_hop = self.routing.next_hop(src)
+        if next_hop is None:
+            if src == self.sink_node.node_id:
+                self._deliver(src, Frame(src=src, dst=src, payload=payload))
+            else:
+                self.lost_to_partition += 1
+            return
+        frame = Frame(src=src, dst=next_hop, payload=payload)
+        self.mac.send(
+            frame,
+            self.positions[src],
+            self.positions[next_hop],
+            self._neighbours(src),
+            on_delivered=lambda f: self._deliver(next_hop, f),
+        )

@@ -1,0 +1,121 @@
+"""Topology and routing: connectivity graph, sink tree, k-hop floods.
+
+After deployment the (static) topology is known: node positions are
+assigned at deployment time (Sec. III-A).  Routing is a min-hop
+spanning tree rooted at the sink; the 6-hop temporary-cluster flood of
+Algorithm SID uses the same graph's k-hop neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel
+from repro.types import Position
+
+
+def build_connectivity(
+    positions: dict[int, Position],
+    channel: Channel,
+    min_probability: float = 0.6,
+) -> nx.Graph:
+    """Graph with an edge for every usable link.
+
+    Links below ``min_probability`` are blacklisted entirely (the
+    standard WSN practice: marginal links cost more retransmissions
+    than a detour over good ones).  Edges carry the link's
+    ``delivery_probability`` as attribute ``p`` and its expected
+    transmission count as ``etx = 1 / p``.
+    """
+    if not 0 < min_probability < 1:
+        raise ConfigurationError(
+            f"min_probability must be in (0, 1), got {min_probability}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(positions)
+    ids = sorted(positions)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            p = channel.delivery_probability(
+                a, b, positions[a], positions[b]
+            )
+            if p >= min_probability:
+                graph.add_edge(a, b, p=p, etx=1.0 / p)
+    return graph
+
+
+class RoutingTable:
+    """ETX-optimal routes toward one sink, plus k-hop neighbourhoods.
+
+    Routes minimise the expected number of transmissions (the sum of
+    ``1/p`` over the path's links) rather than the raw hop count, so a
+    chain of solid 25 m links beats a shorter chain of marginal 50 m
+    skips.
+    """
+
+    def __init__(self, graph: nx.Graph, sink_id: int) -> None:
+        if sink_id not in graph:
+            raise ConfigurationError(f"sink {sink_id} not in topology")
+        self.graph = graph
+        self.sink_id = sink_id
+        # Dijkstra from the sink on the ETX metric gives each node its
+        # parent (next hop toward the sink).
+        costs, paths = nx.single_source_dijkstra(
+            graph, sink_id, weight="etx"
+        )
+        self._parent: dict[int, int] = {}
+        self._depth: dict[int, int] = {}
+        self._etx: dict[int, float] = costs
+        for node, path in paths.items():
+            self._depth[node] = len(path) - 1
+            if len(path) >= 2:
+                # path runs sink -> ... -> node; the next hop toward the
+                # sink is the penultimate element.
+                self._parent[node] = path[-2]
+
+    def is_connected(self, node_id: int) -> bool:
+        """True when ``node_id`` has a route to the sink."""
+        return node_id in self._depth
+
+    def next_hop(self, node_id: int) -> Optional[int]:
+        """Next hop toward the sink, or None (sink itself / partitioned)."""
+        if node_id == self.sink_id:
+            return None
+        return self._parent.get(node_id)
+
+    def hops_to_sink(self, node_id: int) -> Optional[int]:
+        """Hop count of the ETX-optimal route, or None when partitioned."""
+        return self._depth.get(node_id)
+
+    def etx_to_sink(self, node_id: int) -> Optional[float]:
+        """Expected transmissions to reach the sink, or None."""
+        return self._etx.get(node_id)
+
+    def route(self, node_id: int) -> list[int]:
+        """Full node sequence from ``node_id`` to the sink (inclusive)."""
+        if not self.is_connected(node_id):
+            raise ConfigurationError(f"node {node_id} has no route to sink")
+        path = [node_id]
+        while path[-1] != self.sink_id:
+            path.append(self._parent[path[-1]])
+        return path
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Direct radio neighbours."""
+        return sorted(self.graph.neighbors(node_id))
+
+    def nodes_within_hops(self, node_id: int, hops: int) -> list[int]:
+        """All nodes reachable in <= ``hops`` hops (excluding the node).
+
+        This is the recipient set of the SetUpTempCluster flood
+        ("informs its neighbor nodes within N hops").
+        """
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        lengths = nx.single_source_shortest_path_length(
+            self.graph, node_id, cutoff=hops
+        )
+        return sorted(n for n in lengths if n != node_id)

@@ -1,0 +1,139 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event loop: events are ``(time, seq)``-ordered
+callbacks in a binary heap; ties break by scheduling order, so repeated
+runs with the same seeds replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (safe to call twice)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, node.on_timer)
+        sim.run(until=600.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time [s]."""
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    @property
+    def n_processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        event = Event(time, fn, args)
+        heapq.heappush(self._queue, _Entry(time, next(self._seq), event))
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``until`` stops the clock at that time (events beyond it stay
+        queued); ``max_events`` guards against runaway feedback loops.
+        """
+        if self._running:
+            raise SimulationError("simulator re-entered from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway schedule?"
+                    )
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if entry.event.cancelled:
+                    continue
+                self._now = entry.time
+                entry.event.fn(*entry.event.args)
+                self._processed += 1
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event; False when empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event.fn(*entry.event.args)
+            self._processed += 1
+            return True
+        return False

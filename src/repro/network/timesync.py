@@ -1,0 +1,91 @@
+"""Beacon time synchronisation with per-hop residual error.
+
+"After the deployment of WSNs, it should run time synchronization and
+localization algorithms ... it is not too costly to run synch and
+localization to reach certain precision required by our application"
+(Sec. IV-C).  The model: the sink floods level-stamped beacons down the
+routing tree; each node synchronises to its parent, inheriting the
+parent's residual error plus a fresh per-hop gaussian term — so sync
+error grows with the square root of tree depth, exactly the behaviour
+of real flooding protocols (FTSP-style).
+
+The residual errors matter downstream: eq. 16 divides by timestamp
+differences, so :mod:`repro.detection.speed`'s error band inherits them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.network.routing import RoutingTable
+from repro.rng import RandomState, make_rng
+from repro.sensors.clock import Clock
+
+
+class TimeSyncProtocol:
+    """One synchronisation epoch over the routing tree."""
+
+    def __init__(
+        self,
+        routing: RoutingTable,
+        per_hop_residual_s: float = 0.001,
+        seed: RandomState = None,
+    ) -> None:
+        if per_hop_residual_s < 0:
+            raise ConfigurationError(
+                f"per_hop_residual_s must be >= 0, got {per_hop_residual_s}"
+            )
+        self.routing = routing
+        self.per_hop_residual_s = per_hop_residual_s
+        self._rng = make_rng(seed)
+        self._offsets: dict[int, float] = {}
+
+    def run_epoch(self, true_time: float) -> dict[int, float]:
+        """Synchronise every connected node; returns the offsets achieved.
+
+        Each node's post-sync offset is the sum of independent per-hop
+        residuals along its tree path (the sink's own clock defines the
+        network time, offset 0).
+        """
+        offsets: dict[int, float] = {self.routing.sink_id: 0.0}
+        # BFS order guarantees parents are synchronised before children.
+        order = sorted(
+            (n for n in self.routing.graph if self.routing.is_connected(n)),
+            key=lambda n: self.routing.hops_to_sink(n) or 0,
+        )
+        for node in order:
+            if node == self.routing.sink_id:
+                continue
+            parent = self.routing.next_hop(node)
+            assert parent is not None
+            hop_error = float(
+                self._rng.normal(0.0, self.per_hop_residual_s)
+            )
+            offsets[node] = offsets[parent] + hop_error
+        self._offsets = offsets
+        return dict(offsets)
+
+    def apply_to_clock(self, node_id: int, clock: Clock, true_time: float) -> None:
+        """Install the epoch's residual offset into a node clock."""
+        if node_id not in self._offsets:
+            raise ConfigurationError(
+                f"node {node_id} was not covered by the last sync epoch"
+            )
+        clock.synchronize(true_time)
+        # Replace the clock's own residual draw with the tree-correlated
+        # offset this protocol computed.
+        clock._offset = self._offsets[node_id]
+
+    def offset_of(self, node_id: int) -> float:
+        """Residual offset of ``node_id`` after the last epoch."""
+        if node_id not in self._offsets:
+            raise ConfigurationError(
+                f"node {node_id} was not covered by the last sync epoch"
+            )
+        return self._offsets[node_id]
+
+    def rms_error(self) -> float:
+        """RMS of the residual offsets across the network."""
+        if not self._offsets:
+            raise ConfigurationError("no sync epoch has run yet")
+        values = list(self._offsets.values())
+        return (sum(v * v for v in values) / len(values)) ** 0.5

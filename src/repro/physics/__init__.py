@@ -1,0 +1,91 @@
+"""Ocean and ship-wake physics substrate.
+
+The paper evaluates SID on accelerometer traces recorded by buoys at
+sea.  We do not have that sea, so this package synthesises it:
+
+- :mod:`repro.physics.spectrum` — ambient ocean wave spectra
+  (Pierson–Moskowitz, JONSWAP) and named sea states;
+- :mod:`repro.physics.airy` — linear (Airy) wave theory: dispersion,
+  phase/group speed, orbital kinematics;
+- :mod:`repro.physics.wavefield` — random-phase superposition of
+  spectral components into a space–time ambient wave field;
+- :mod:`repro.physics.kelvin` — the Kelvin ship-wake model: cusp
+  geometry (19°28′), Froude number, decay laws (paper eq. 1) and wake
+  wave speed (paper eq. 2);
+- :mod:`repro.physics.wake_train` — the finite wave train a passing
+  ship inflicts on a fixed observation point;
+- :mod:`repro.physics.buoy` — buoy dynamics: heave, tilt and mooring
+  drift, turning surface motion into what an on-buoy accelerometer feels;
+- :mod:`repro.physics.disturbance` — non-ship disturbances (wind gusts,
+  birds, fish) used for false-alarm experiments.
+"""
+
+from repro.physics.airy import (
+    deep_water_wavelength,
+    dispersion_omega,
+    group_speed,
+    phase_speed,
+    wavelength_from_period,
+    wavenumber_from_omega,
+)
+from repro.physics.buoy import Buoy, BuoyMotion
+from repro.physics.disturbance import (
+    BirdStrike,
+    Disturbance,
+    FishBump,
+    WindGust,
+    render_disturbances,
+)
+from repro.physics.kelvin import (
+    KelvinWake,
+    cusp_wave_period,
+    depth_froude_number,
+    wake_propagation_angle_deg,
+    wake_wave_speed,
+)
+from repro.physics.sea_state_estimator import (
+    SeaStateEstimate,
+    SeaStateEstimator,
+    SeaStateEstimatorConfig,
+)
+from repro.physics.spectrum import (
+    JONSWAPSpectrum,
+    PiersonMoskowitzSpectrum,
+    SeaState,
+    WaveSpectrum,
+    sea_state_spectrum,
+)
+from repro.physics.wake_train import WakeTrain
+from repro.physics.wavefield import AmbientWaveField, WaveComponent
+
+__all__ = [
+    "AmbientWaveField",
+    "BirdStrike",
+    "Buoy",
+    "BuoyMotion",
+    "Disturbance",
+    "FishBump",
+    "JONSWAPSpectrum",
+    "KelvinWake",
+    "PiersonMoskowitzSpectrum",
+    "SeaState",
+    "SeaStateEstimate",
+    "SeaStateEstimator",
+    "SeaStateEstimatorConfig",
+    "WakeTrain",
+    "WaveComponent",
+    "WaveSpectrum",
+    "WindGust",
+    "cusp_wave_period",
+    "deep_water_wavelength",
+    "depth_froude_number",
+    "dispersion_omega",
+    "group_speed",
+    "phase_speed",
+    "render_disturbances",
+    "sea_state_spectrum",
+    "wake_propagation_angle_deg",
+    "wake_wave_speed",
+    "wavelength_from_period",
+    "wavenumber_from_omega",
+]

@@ -1,0 +1,224 @@
+"""Buoy dynamics: what the hull does between the sea and the sensor.
+
+The paper's motes ride small moored buoys (Fig. 4).  Three effects of
+the hull matter to the detector:
+
+1. **Heave**: a small buoy follows the surface, so the vertical specific
+   force it feels is gravity plus the surface vertical acceleration.
+2. **Tilt**: wave slope and wind rock the buoy, projecting gravity onto
+   the x/y axes (the large +/-0.5 g swings of Fig. 5) and slightly
+   shrinking the z projection.  This random re-orientation is exactly
+   why the paper uses only the z axis (Sec. III-B).
+3. **Mooring drift**: the buoy wanders within a ~2 m radius of its
+   anchor (Sec. V-B), which later perturbs the speed-estimation
+   geometry.
+
+Tilt and drift must be *deterministic functions of time* for a given
+seed (the scenario layer evaluates them at arbitrary instants), so both
+are realised as small random sums of sinusoids rather than as stateful
+random walks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BUOY_DRIFT_RADIUS_M, GRAVITY
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, make_rng
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class BuoyMotion:
+    """Three-axis specific force felt by the mote, in m/s^2."""
+
+    t: np.ndarray
+    fx: np.ndarray
+    fy: np.ndarray
+    fz: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.t)
+        if not (len(self.fx) == len(self.fy) == len(self.fz) == n):
+            raise ConfigurationError("motion arrays must share one length")
+
+
+class _SinusoidProcess:
+    """A zero-mean, band-limited gaussian-ish process as a sum of sines.
+
+    Deterministic in ``t`` for a fixed seed; RMS and characteristic
+    period are configurable.  Used for tilt and drift.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rms: float,
+        period_s: float,
+        n_terms: int = 6,
+        period_spread: float = 0.5,
+    ) -> None:
+        if rms < 0:
+            raise ConfigurationError(f"rms must be >= 0, got {rms}")
+        if period_s <= 0:
+            raise ConfigurationError(f"period must be positive, got {period_s}")
+        base = 1.0 / period_s
+        self._freqs = base * (
+            1.0 + period_spread * rng.uniform(-1.0, 1.0, size=n_terms)
+        )
+        self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_terms)
+        raw = rng.uniform(0.5, 1.0, size=n_terms)
+        # Normalise so the sum of sinusoids has the requested RMS.
+        norm = math.sqrt(float(np.sum(raw * raw)) / 2.0)
+        self._amps = raw * (rms / norm) if norm > 0 else raw * 0.0
+
+    def __call__(self, t) -> np.ndarray:
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        phases = (
+            2.0 * math.pi * self._freqs[:, None] * t[None, :]
+            + self._phases[:, None]
+        )
+        return np.asarray(self._amps @ np.sin(phases))
+
+
+class Buoy:
+    """One moored buoy carrying a mote.
+
+    Parameters
+    ----------
+    anchor:
+        The assigned (and believed) deployment position.
+    drift_radius_m:
+        Maximum mooring excursion (paper: ~2 m).
+    tilt_rms_deg:
+        RMS rocking angle about each horizontal axis.
+    tilt_period_s:
+        Characteristic rocking period (near the wave period).
+    drift_period_s:
+        Characteristic mooring-excursion period.
+    seed:
+        Random state making this buoy's motion reproducible.
+    """
+
+    def __init__(
+        self,
+        anchor: Position,
+        drift_radius_m: float = BUOY_DRIFT_RADIUS_M,
+        tilt_rms_deg: float = 10.0,
+        tilt_period_s: float = 4.0,
+        drift_period_s: float = 90.0,
+        heave_corner_hz: float = 0.6,
+        heave_order: int = 2,
+        seed: RandomState = None,
+    ) -> None:
+        if drift_radius_m < 0:
+            raise ConfigurationError(
+                f"drift radius must be >= 0, got {drift_radius_m}"
+            )
+        if tilt_rms_deg < 0:
+            raise ConfigurationError(
+                f"tilt rms must be >= 0, got {tilt_rms_deg}"
+            )
+        if heave_corner_hz <= 0:
+            raise ConfigurationError(
+                f"heave corner must be positive, got {heave_corner_hz}"
+            )
+        if heave_order < 1:
+            raise ConfigurationError(
+                f"heave order must be >= 1, got {heave_order}"
+            )
+        self.anchor = anchor
+        self.drift_radius_m = drift_radius_m
+        self.heave_corner_hz = heave_corner_hz
+        self.heave_order = heave_order
+        rng = make_rng(seed)
+        tilt_rms = math.radians(tilt_rms_deg)
+        self._tilt_x = _SinusoidProcess(rng, tilt_rms, tilt_period_s)
+        self._tilt_y = _SinusoidProcess(rng, tilt_rms, tilt_period_s)
+        # Drift RMS chosen so the 2-sigma excursion stays at the radius;
+        # values are clipped to the radius anyway.
+        drift_rms = drift_radius_m / 2.0
+        self._drift_x = _SinusoidProcess(rng, drift_rms, drift_period_s)
+        self._drift_y = _SinusoidProcess(
+            rng, drift_rms, drift_period_s * 1.3
+        )
+
+    # ------------------------------------------------------------------
+    # Position
+    # ------------------------------------------------------------------
+    def drift_offsets(self, t) -> tuple[np.ndarray, np.ndarray]:
+        """Mooring offsets (dx, dy) [m], clipped to the drift radius."""
+        dx = self._drift_x(t)
+        dy = self._drift_y(t)
+        r = np.hypot(dx, dy)
+        if self.drift_radius_m == 0:
+            return np.zeros_like(dx), np.zeros_like(dy)
+        over = r > self.drift_radius_m
+        if np.any(over):
+            scale = np.ones_like(r)
+            scale[over] = self.drift_radius_m / r[over]
+            dx = dx * scale
+            dy = dy * scale
+        return dx, dy
+
+    def position_at(self, t: float) -> Position:
+        """True buoy position at time ``t`` (anchor + mooring drift)."""
+        dx, dy = self.drift_offsets(t)
+        return Position(self.anchor.x + float(dx[0]), self.anchor.y + float(dy[0]))
+
+    # ------------------------------------------------------------------
+    # Sensed accelerations
+    # ------------------------------------------------------------------
+    def heave_gain(self, frequency_hz) -> np.ndarray:
+        """Mechanical heave response magnitude at ``frequency_hz``.
+
+        A small buoy follows long waves perfectly but cannot follow
+        waves shorter than its own scale: the response rolls off as a
+        Butterworth magnitude ``1 / sqrt(1 + (f / fc)^(2 n))``.  This
+        is why the paper's measured ambient spectrum (Fig. 6a) shows a
+        single low-frequency concentration even though the raw
+        sea-surface acceleration spectrum has a broad saturation tail.
+        """
+        f = np.asarray(frequency_hz, dtype=float)
+        return 1.0 / np.sqrt(
+            1.0 + (f / self.heave_corner_hz) ** (2 * self.heave_order)
+        )
+
+    def tilt_angles(self, t) -> tuple[np.ndarray, np.ndarray]:
+        """Rocking angles about the x and y axes [rad]."""
+        return self._tilt_x(t), self._tilt_y(t)
+
+    def specific_force(
+        self,
+        t,
+        vertical_accel,
+        horizontal_accel: tuple | None = None,
+    ) -> BuoyMotion:
+        """Project sea-surface motion into body-frame specific force.
+
+        ``vertical_accel`` is the surface vertical acceleration [m/s^2]
+        at the buoy (ambient field + wakes + disturbances);
+        ``horizontal_accel`` optionally supplies the surface horizontal
+        components.  A resting, untilted buoy reads ``fz = +g``.
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        az = np.broadcast_to(
+            np.asarray(vertical_accel, dtype=float), t.shape
+        ).copy()
+        if horizontal_accel is None:
+            ahx = np.zeros_like(t)
+            ahy = np.zeros_like(t)
+        else:
+            ahx = np.broadcast_to(np.asarray(horizontal_accel[0], float), t.shape)
+            ahy = np.broadcast_to(np.asarray(horizontal_accel[1], float), t.shape)
+        theta_x, theta_y = self.tilt_angles(t)
+        vertical = GRAVITY + az
+        cos_t = np.cos(theta_x) * np.cos(theta_y)
+        fz = vertical * cos_t
+        fx = vertical * np.sin(theta_y) + ahx
+        fy = -vertical * np.sin(theta_x) + ahy
+        return BuoyMotion(t=t, fx=fx, fy=fy, fz=fz)

@@ -1,0 +1,121 @@
+"""Sea-state estimation from buoy acceleration (supporting service).
+
+The paper's adaptive threshold (eq. 5) reacts to the sea implicitly;
+a real long-term deployment also wants the sea state *explicitly* —
+for operator display, for weather-dependent thresholds ("we need
+further experiments with bad weathers", Sec. VII), and for QA of the
+buoys themselves.  Standard wave-buoy processing recovers it from the
+vertical acceleration record:
+
+1. acceleration spectrum ``S_a(f)`` via Welch averaging;
+2. displacement spectrum ``S_eta(f) = S_a(f) / (2 pi f)^4``;
+3. significant wave height ``Hs = 4 sqrt(m0)`` and peak period from
+   the moments of ``S_eta``.
+
+The double integration amplifies low-frequency noise, so the band
+below ``f_min`` is excluded — exactly what operational wave buoys do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SAMPLE_RATE_HZ
+from repro.dsp.stft import stft
+from repro.errors import ConfigurationError, SignalLengthError
+
+
+@dataclass(frozen=True)
+class SeaStateEstimate:
+    """Bulk sea-state parameters recovered from one record."""
+
+    significant_wave_height_m: float
+    peak_period_s: float
+    peak_frequency_hz: float
+    mean_zero_crossing_period_s: float
+
+
+@dataclass(frozen=True)
+class SeaStateEstimatorConfig:
+    """Processing parameters."""
+
+    rate_hz: float = SAMPLE_RATE_HZ
+    segment_samples: int = 1024
+    f_min_hz: float = 0.08
+    f_max_hz: float = 1.0
+    #: Inverse heave response applied before integration (``None`` =
+    #: assume the buoy follows the surface perfectly in-band).
+    heave_corner_hz: float | None = None
+    heave_order: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigurationError("rate_hz must be positive")
+        if self.segment_samples < 64:
+            raise ConfigurationError("segment_samples must be >= 64")
+        if not 0 < self.f_min_hz < self.f_max_hz:
+            raise ConfigurationError("need 0 < f_min_hz < f_max_hz")
+
+
+class SeaStateEstimator:
+    """Welch-averaged spectral sea-state estimation."""
+
+    def __init__(self, config: SeaStateEstimatorConfig | None = None) -> None:
+        self.config = config if config is not None else SeaStateEstimatorConfig()
+
+    def displacement_spectrum(
+        self, accel_mps2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Frequencies [Hz] and displacement variance density [m^2/Hz]."""
+        cfg = self.config
+        x = np.asarray(accel_mps2, dtype=float)
+        if x.size < 2 * cfg.segment_samples:
+            raise SignalLengthError(
+                f"need >= {2 * cfg.segment_samples} samples, got {x.size}"
+            )
+        sg = stft(
+            x,
+            cfg.rate_hz,
+            segment=cfg.segment_samples,
+            hop=cfg.segment_samples // 2,
+        )
+        # Welch average of |X|^2; normalise to variance density so that
+        # sum(S df) equals the signal variance (Hann window: the factor
+        # is  1 / (rate * sum(w^2))  per segment).
+        from repro.dsp.window import hann
+
+        w = hann(cfg.segment_samples)
+        norm = cfg.rate_hz * float(np.sum(w * w))
+        psd_accel = sg.power.mean(axis=1) / norm
+        # One-sided doubling (all interior bins).
+        psd_accel[1:-1] *= 2.0
+        freqs = sg.frequencies_hz
+        band = (freqs >= cfg.f_min_hz) & (freqs <= cfg.f_max_hz)
+        f = freqs[band]
+        s_a = psd_accel[band]
+        if cfg.heave_corner_hz is not None:
+            gain = 1.0 / np.sqrt(
+                1.0 + (f / cfg.heave_corner_hz) ** (2 * cfg.heave_order)
+            )
+            s_a = s_a / np.maximum(gain**2, 1e-6)
+        s_eta = s_a / (2.0 * np.pi * f) ** 4
+        return f, s_eta
+
+    def estimate(self, accel_mps2: np.ndarray) -> SeaStateEstimate:
+        """Bulk parameters from a zero-mean vertical-acceleration record."""
+        f, s = self.displacement_spectrum(accel_mps2)
+        df = f[1] - f[0]
+        m0 = float(np.sum(s) * df)
+        m2 = float(np.sum(f**2 * s) * df)
+        if m0 <= 0 or m2 <= 0:
+            raise SignalLengthError("record carries no wave-band energy")
+        peak_idx = int(np.argmax(s))
+        peak_f = float(f[peak_idx])
+        return SeaStateEstimate(
+            significant_wave_height_m=4.0 * float(np.sqrt(m0)),
+            peak_period_s=1.0 / peak_f,
+            peak_frequency_hz=peak_f,
+            mean_zero_crossing_period_s=float(np.sqrt(m0 / m2)),
+        )

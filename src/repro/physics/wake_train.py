@@ -1,0 +1,148 @@
+"""The finite wave train a ship wake inflicts on a fixed point.
+
+At a stationary buoy the passing wake is felt as a short, enveloped
+packet of oscillations: the cusp-locus front arrives at ``arrival_time``
+(from :class:`repro.physics.kelvin.KelvinWake`), the packet lasts
+``duration`` seconds (2-3 s at the paper's 25 m scale, Sec. V-A) and
+carries the divergent-wave period.  Deep-water dispersion sorts the
+packet — longer waves lead — which we model as a mild downward frequency
+chirp across the train.
+
+The elevation model is
+
+``eta(tau) = A * env(tau) * cos(w tau + 0.5 chi tau^2)``
+
+with a raised-cosine (Hann) envelope on ``tau in [0, duration]``.  The
+vertical acceleration is the exact second derivative (product rule on
+envelope and chirped carrier), so a numerically differentiated elevation
+matches it — one of the property tests asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.kelvin import KelvinWake
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class WakeTrain:
+    """One enveloped wave packet at a fixed observation point.
+
+    Parameters
+    ----------
+    arrival_time:
+        Time the packet front reaches the point [s].
+    amplitude:
+        Peak surface amplitude of the packet [m] (half the wave height).
+    period:
+        Carrier period at the packet centre [s].
+    duration:
+        Packet length [s].
+    chirp:
+        Frequency sweep rate [Hz/s]; negative values make later waves
+        shorter-period, the deep-water dispersion signature.  The default
+        of 0 disables the sweep.
+    """
+
+    arrival_time: float
+    amplitude: float
+    period: float
+    duration: float
+    chirp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ConfigurationError(f"amplitude must be >= 0, got {self.amplitude}")
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+    @classmethod
+    def from_wake(
+        cls,
+        wake: KelvinWake,
+        point: Position,
+        chirp_fraction: float = -0.08,
+    ) -> "WakeTrain":
+        """Build the packet a :class:`KelvinWake` produces at ``point``.
+
+        ``chirp_fraction`` expresses the frequency sweep over the whole
+        packet as a fraction of the carrier frequency.
+        """
+        period = wake.wave_period()
+        duration = wake.train_duration_at(point)
+        carrier_hz = 1.0 / period
+        return cls(
+            arrival_time=wake.arrival_time(point),
+            amplitude=0.5 * wake.wave_height_at(point),
+            period=period,
+            duration=duration,
+            chirp=chirp_fraction * carrier_hz / duration,
+        )
+
+    @property
+    def carrier_frequency_hz(self) -> float:
+        """Centre carrier frequency [Hz]."""
+        return 1.0 / self.period
+
+    @property
+    def end_time(self) -> float:
+        """Time the packet has fully passed [s]."""
+        return self.arrival_time + self.duration
+
+    def _envelope_terms(
+        self, tau: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Hann envelope and its first/second derivatives, plus the mask."""
+        inside = (tau >= 0.0) & (tau <= self.duration)
+        w = 2.0 * math.pi / self.duration
+        env = np.where(inside, 0.5 * (1.0 - np.cos(w * tau)), 0.0)
+        denv = np.where(inside, 0.5 * w * np.sin(w * tau), 0.0)
+        ddenv = np.where(inside, 0.5 * w * w * np.cos(w * tau), 0.0)
+        return env, denv, ddenv, inside
+
+    def elevation(self, t) -> np.ndarray:
+        """Surface elevation contribution [m] at times ``t``."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        tau = t - self.arrival_time
+        env, _, _, _ = self._envelope_terms(tau)
+        omega = 2.0 * math.pi * self.carrier_frequency_hz
+        chi = 2.0 * math.pi * self.chirp
+        phase = omega * tau + 0.5 * chi * tau * tau
+        return self.amplitude * env * np.cos(phase)
+
+    def vertical_acceleration(self, t) -> np.ndarray:
+        """Exact second time derivative of :meth:`elevation` [m/s^2]."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        tau = t - self.arrival_time
+        env, denv, ddenv, _ = self._envelope_terms(tau)
+        omega = 2.0 * math.pi * self.carrier_frequency_hz
+        chi = 2.0 * math.pi * self.chirp
+        phase = omega * tau + 0.5 * chi * tau * tau
+        inst = omega + chi * tau  # instantaneous angular frequency
+        cos_p = np.cos(phase)
+        sin_p = np.sin(phase)
+        second = (
+            ddenv * cos_p
+            - 2.0 * denv * inst * sin_p
+            - env * inst * inst * cos_p
+            - env * chi * sin_p
+        )
+        return self.amplitude * second
+
+    def peak_vertical_acceleration(self) -> float:
+        """Approximate peak |acceleration| of the packet [m/s^2].
+
+        Dominated by the carrier term ``A w^2`` at the envelope top.
+        """
+        omega = 2.0 * math.pi * self.carrier_frequency_hz
+        return self.amplitude * omega * omega

@@ -1,0 +1,131 @@
+"""The manual grid deployment of Sec. III-A.
+
+"In our deployment, we choose to deploy sensor nodes manually in grid
+fashion ... the locations of the nodes are assigned at the time when
+they are deployed."  Rows run along x (row index grows with y), columns
+along y.  The row spacing is the paper's D (25 m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DEPLOYMENT_SPACING_M
+from repro.errors import ConfigurationError
+from repro.physics.buoy import Buoy
+from repro.rng import RandomState, derive_rng, make_rng
+from repro.sensors.imote2 import IMote2, MoteConfig
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class DeployedNode:
+    """One grid slot: identifiers, anchor position, buoy and mote."""
+
+    node_id: int
+    row: int
+    column: int
+    anchor: Position
+    buoy: Buoy
+    mote: IMote2
+
+
+class GridDeployment:
+    """A rows x columns grid of instrumented buoys.
+
+    Node ids are assigned row-major starting at 0; the sink id is
+    always ``rows * columns`` (one beyond the last sensor).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        spacing_m: float = DEPLOYMENT_SPACING_M,
+        origin: Position = Position(0.0, 0.0),
+        mote_config: MoteConfig | None = None,
+        buoy_drift_radius_m: float = 2.0,
+        seed: RandomState = None,
+    ) -> None:
+        if rows < 1 or columns < 1:
+            raise ConfigurationError(
+                f"grid needs rows >= 1 and columns >= 1, got {rows}x{columns}"
+            )
+        if spacing_m <= 0:
+            raise ConfigurationError(
+                f"spacing must be positive, got {spacing_m}"
+            )
+        self.rows = rows
+        self.columns = columns
+        self.spacing_m = spacing_m
+        self.origin = origin
+        base = make_rng(seed)
+        root = int(base.integers(2**31))
+        self.nodes: list[DeployedNode] = []
+        for r in range(rows):
+            for c in range(columns):
+                node_id = r * columns + c
+                anchor = Position(
+                    origin.x + c * spacing_m, origin.y + r * spacing_m
+                )
+                buoy = Buoy(
+                    anchor,
+                    drift_radius_m=buoy_drift_radius_m,
+                    seed=derive_rng(root, f"buoy-{node_id}"),
+                )
+                mote = IMote2(
+                    node_id,
+                    config=mote_config,
+                    seed=derive_rng(root, f"mote-{node_id}"),
+                )
+                self.nodes.append(
+                    DeployedNode(
+                        node_id=node_id,
+                        row=r,
+                        column=c,
+                        anchor=anchor,
+                        buoy=buoy,
+                        mote=mote,
+                    )
+                )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    @property
+    def sink_id(self) -> int:
+        """Conventional sink node id (one beyond the last sensor)."""
+        return self.rows * self.columns
+
+    @property
+    def sink_position(self) -> Position:
+        """Sink placed one spacing east of the grid's first row."""
+        return Position(
+            self.origin.x + self.columns * self.spacing_m, self.origin.y
+        )
+
+    def node(self, node_id: int) -> DeployedNode:
+        """Look a node up by id."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(f"no node {node_id} in this deployment")
+        return self.nodes[node_id]
+
+    def positions(self) -> dict[int, Position]:
+        """Anchor positions keyed by node id."""
+        return {n.node_id: n.anchor for n in self.nodes}
+
+    def row_nodes(self, row: int) -> list[DeployedNode]:
+        """All nodes of one row, ordered by column."""
+        if not 0 <= row < self.rows:
+            raise ConfigurationError(f"no row {row} in this deployment")
+        return [n for n in self.nodes if n.row == row]
+
+    def center(self) -> Position:
+        """Geometric centre of the grid."""
+        return Position(
+            self.origin.x + (self.columns - 1) * self.spacing_m / 2.0,
+            self.origin.y + (self.rows - 1) * self.spacing_m / 2.0,
+        )

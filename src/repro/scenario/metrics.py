@@ -1,0 +1,114 @@
+"""Detection and estimation quality metrics.
+
+The paper's headline numbers: the node-level *successful detection
+ratio* (Fig. 11) — the fraction of raised alarms that coincide with a
+real ship disturbance — and the speed-estimation error (Fig. 12,
+"within 20% of the actual speed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.detection.reports import NodeReport
+from repro.errors import ConfigurationError
+from repro.types import TimeWindow
+
+
+@dataclass(frozen=True)
+class ClassifiedAlarms:
+    """Alarm counts split against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    events_total: int
+    events_detected: int
+
+    @property
+    def n_alarms(self) -> int:
+        """All alarms raised."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def precision(self) -> float:
+        """Fraction of alarms that were genuine (paper's detection ratio)."""
+        if self.n_alarms == 0:
+            return 0.0
+        return self.true_positives / self.n_alarms
+
+    @property
+    def recall(self) -> float:
+        """Fraction of real events that produced at least one alarm."""
+        if self.events_total == 0:
+            return 0.0
+        return self.events_detected / self.events_total
+
+
+def classify_alarms(
+    reports: Sequence[NodeReport],
+    true_windows: Sequence[TimeWindow],
+    tolerance_s: float = 2.0,
+) -> ClassifiedAlarms:
+    """Split alarms into true/false against the ground-truth windows.
+
+    An alarm is *true* when its onset falls within ``tolerance_s`` of a
+    ground-truth disturbance window; a window is *detected* when at
+    least one alarm matched it.
+    """
+    if tolerance_s < 0:
+        raise ConfigurationError(
+            f"tolerance must be >= 0, got {tolerance_s}"
+        )
+    expanded = [
+        TimeWindow(w.start - tolerance_s, w.end + tolerance_s)
+        for w in true_windows
+    ]
+    tp = 0
+    fp = 0
+    hit = [False] * len(expanded)
+    for r in reports:
+        matched = False
+        for k, w in enumerate(expanded):
+            if w.contains(r.onset_time):
+                matched = True
+                hit[k] = True
+        if matched:
+            tp += 1
+        else:
+            fp += 1
+    return ClassifiedAlarms(
+        true_positives=tp,
+        false_positives=fp,
+        events_total=len(true_windows),
+        events_detected=sum(hit),
+    )
+
+
+def detection_ratio(
+    reports: Sequence[NodeReport],
+    true_windows: Sequence[TimeWindow],
+    tolerance_s: float = 2.0,
+) -> float:
+    """The paper's successful detection ratio (alarm precision)."""
+    return classify_alarms(reports, true_windows, tolerance_s).precision
+
+
+def speed_error_fraction(estimate_mps: float, actual_mps: float) -> float:
+    """Relative speed-estimation error |est - actual| / actual."""
+    if actual_mps <= 0:
+        raise ConfigurationError(
+            f"actual speed must be positive, got {actual_mps}"
+        )
+    return abs(estimate_mps - actual_mps) / actual_mps
+
+
+def false_alarm_rate_per_hour(
+    n_false: int, duration_s: float
+) -> float:
+    """False alarms normalised to events per hour."""
+    if duration_s <= 0:
+        raise ConfigurationError(
+            f"duration must be positive, got {duration_s}"
+        )
+    return n_false * 3600.0 / duration_s

@@ -1,0 +1,104 @@
+"""Canonical paper configurations (Secs. III-A, V).
+
+- the grid: 6 rows x 5 columns at D = 25 m (Table I/II process "5
+  nodes' data in each row ... from 4 to 6 rows");
+- the intruder: a fishing boat at ~10 or ~16 knots crossing the field;
+- the sea: a calm-to-slight near-coast wind sea.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import DEPLOYMENT_SPACING_M
+from repro.physics.kelvin import default_amplitude_coefficient
+from repro.errors import ConfigurationError
+from repro.rng import RandomState
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.ship import ShipTrack
+from repro.scenario.synthesis import SynthesisConfig
+from repro.physics.spectrum import SeaState
+from repro.types import Position
+
+#: Ship speeds used in the paper's evaluation [knots].
+PAPER_SPEEDS_KNOTS = (10.0, 16.0)
+
+#: Default crossing angle between sailing line and the rows [deg].
+#: Steep crossings (> 45 deg) keep the Fig. 10 speed-estimation geometry
+#: valid (the sailing line stays between two grid columns).
+DEFAULT_ALPHA_DEG = 70.0
+
+#: Wave-making factor calibrated so the filtered wake burst stands
+#: 2-4x above the calm-sea ambient level near the track (the contrast
+#: visible in the paper's Fig. 8) while nodes two rows out see only a
+#: marginal ~1.5x — reproducing the imperfect node-level ratios of
+#: Fig. 11 and the row falloff of Table II.
+DEFAULT_WAKE_FACTOR = 1.5
+
+
+def paper_deployment(
+    rows: int = 6,
+    columns: int = 5,
+    spacing_m: float = DEPLOYMENT_SPACING_M,
+    seed: RandomState = None,
+) -> GridDeployment:
+    """The paper's manual grid deployment."""
+    return GridDeployment(rows, columns, spacing_m=spacing_m, seed=seed)
+
+
+def paper_ship(
+    deployment: GridDeployment,
+    speed_knots: float = 10.0,
+    alpha_deg: float = DEFAULT_ALPHA_DEG,
+    cross_time_s: float = 200.0,
+    column_gap: float = 1.5,
+    wake_factor: float = DEFAULT_WAKE_FACTOR,
+) -> ShipTrack:
+    """A run crossing the grid mid-scenario.
+
+    The sailing line passes between columns ``floor(column_gap)`` and
+    ``ceil(column_gap)`` (default: between the 2nd and 3rd columns) at
+    the grid's vertical midpoint, reaching it at ``cross_time_s``.
+    """
+    if not 0 < alpha_deg < 180:
+        raise ConfigurationError(
+            f"alpha must be in (0, 180) degrees, got {alpha_deg}"
+        )
+    heading = math.radians(alpha_deg)
+    cross_point = Position(
+        deployment.origin.x + column_gap * deployment.spacing_m,
+        deployment.origin.y
+        + (deployment.rows - 1) * deployment.spacing_m / 2.0,
+    )
+    speed_mps = speed_knots * 0.514444
+    approach = speed_mps * cross_time_s
+    coefficient = default_amplitude_coefficient(speed_mps, wake_factor)
+    return ShipTrack.through_point(
+        cross_point,
+        heading,
+        speed_knots,
+        approach_distance_m=approach,
+        t0=0.0,
+        wake_coefficient=coefficient,
+    )
+
+
+def paper_scenario(
+    speed_knots: float = 10.0,
+    alpha_deg: float = DEFAULT_ALPHA_DEG,
+    rows: int = 6,
+    columns: int = 5,
+    duration_s: float = 400.0,
+    sea_state: SeaState = SeaState.CALM,
+    seed: RandomState = None,
+) -> tuple[GridDeployment, ShipTrack, SynthesisConfig]:
+    """One bundled paper-style run: deployment, ship and synthesis config."""
+    deployment = paper_deployment(rows=rows, columns=columns, seed=seed)
+    ship = paper_ship(
+        deployment,
+        speed_knots=speed_knots,
+        alpha_deg=alpha_deg,
+        cross_time_s=duration_s / 2.0,
+    )
+    synth = SynthesisConfig(duration_s=duration_s, sea_state=sea_state)
+    return deployment, ship, synth

@@ -1,0 +1,433 @@
+"""Scenario execution: offline (radio-less) and fully networked.
+
+``run_offline_scenario`` is the controlled-experiment path used by the
+Table I / Table II / Fig. 11 benchmarks: every node's trace is
+synthesised, node-level detection runs locally, and a single temporary
+cluster fuses all reports — isolating the *detection* behaviour from
+radio losses.
+
+``run_network_scenario`` drives the same detectors through the full
+discrete-event stack (flooded cluster setup, lossy member reports,
+multihop delivery to the sink) — the configuration the ablation
+benchmarks stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.detection.cluster import (
+    ClusterEvent,
+    TemporaryCluster,
+    TemporaryClusterConfig,
+    TravelLine,
+)
+from repro.detection.node_detector import (
+    NodeDetector,
+    NodeDetectorConfig,
+    merge_reports,
+)
+from repro.detection.preprocess import preprocess_z_counts
+from repro.detection.reports import ClusterReport, NodeReport, SinkDecision
+from repro.detection.sid import SIDNode, SIDNodeConfig
+from repro.detection.sink import Sink
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel, ChannelConfig
+from repro.network.mac import MacConfig
+from repro.network.nodeproc import SensorNetwork
+from repro.physics.disturbance import Disturbance
+from repro.rng import RandomState, derive_rng, make_rng
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.ship import ShipTrack
+from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
+from repro.types import AccelTrace, TimeWindow
+
+
+# ----------------------------------------------------------------------
+# Offline runner
+# ----------------------------------------------------------------------
+@dataclass
+class OfflineScenarioResult:
+    """Everything the controlled experiments need to score a run.
+
+    ``cluster_outcomes`` holds every temporary-cluster evaluation in
+    onset order (the offline runner forms clusters sequentially exactly
+    like the online protocol: first unassigned report initiates, later
+    reports join until the collection window closes).
+    ``cluster_event`` / ``cluster_report`` summarise the best outcome —
+    a confirmation if any cluster confirmed, else the last evaluation.
+    """
+
+    reports_by_node: dict[int, list[NodeReport]]
+    merged_by_node: dict[int, list[NodeReport]]
+    cluster_event: Optional[ClusterEvent]
+    cluster_report: Optional[ClusterReport]
+    truth_windows_by_node: dict[int, list[TimeWindow]]
+    cluster_outcomes: list[tuple[ClusterEvent, Optional[ClusterReport]]] = field(
+        default_factory=list
+    )
+    traces: dict[int, AccelTrace] = field(default_factory=dict)
+
+    @property
+    def all_reports(self) -> list[NodeReport]:
+        """All window-level reports across nodes, by onset time."""
+        out: list[NodeReport] = []
+        for reports in self.reports_by_node.values():
+            out.extend(reports)
+        return sorted(out, key=lambda r: r.onset_time)
+
+    @property
+    def all_merged(self) -> list[NodeReport]:
+        """All merged (per-event) reports across nodes."""
+        out: list[NodeReport] = []
+        for reports in self.merged_by_node.values():
+            out.extend(reports)
+        return sorted(out, key=lambda r: r.onset_time)
+
+
+def truth_windows_for(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack],
+    pad_s: float = 1.0,
+) -> dict[int, list[TimeWindow]]:
+    """Ground-truth disturbance windows per node, from the wake model."""
+    out: dict[int, list[TimeWindow]] = {n.node_id: [] for n in deployment}
+    for ship in ships:
+        wake = ship.wake()
+        for node in deployment:
+            arrival = wake.arrival_time(node.anchor)
+            duration = wake.train_duration_at(node.anchor)
+            out[node.node_id].append(
+                TimeWindow(arrival - pad_s, arrival + duration + pad_s)
+            )
+    return out
+
+
+def run_offline_scenario(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack] = (),
+    detector_config: NodeDetectorConfig | None = None,
+    cluster_config: TemporaryClusterConfig | None = None,
+    synthesis_config: SynthesisConfig | None = None,
+    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    track_hypothesis: TravelLine | None = None,
+    keep_traces: bool = False,
+    seed: RandomState = None,
+) -> OfflineScenarioResult:
+    """Synthesise, detect, and fuse one scenario without a radio.
+
+    ``track_hypothesis`` defaults to the first ship's ground-truth
+    line (the controlled setting of Tables I/II); pass an explicit
+    hypothesis for no-ship runs.
+    """
+    synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
+    det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
+    traces = synthesize_fleet_traces(
+        deployment,
+        ships,
+        synth,
+        disturbances_by_node=disturbances_by_node,
+        seed=seed,
+    )
+    reports_by_node: dict[int, list[NodeReport]] = {}
+    merged_by_node: dict[int, list[NodeReport]] = {}
+    for node in deployment:
+        detector = NodeDetector(
+            node.node_id,
+            node.anchor,
+            det_cfg,
+            row=node.row,
+            column=node.column,
+        )
+        reports = detector.process_trace(traces[node.node_id])
+        reports_by_node[node.node_id] = reports
+        merged_by_node[node.node_id] = merge_reports(reports)
+
+    merged_all = sorted(
+        (r for rs in merged_by_node.values() for r in rs),
+        key=lambda r: r.onset_time,
+    )
+    if track_hypothesis is None and ships:
+        track_hypothesis = ships[0].travel_line()
+    # Sequential temporary clusters, as the online protocol forms them:
+    # the earliest unassigned report initiates; reports inside the
+    # collection window join; the next report after the window opens a
+    # fresh cluster.
+    outcomes: list[tuple[ClusterEvent, Optional[ClusterReport]]] = []
+    idx = 0
+    while idx < len(merged_all):
+        cluster = TemporaryCluster(merged_all[idx], cluster_config)
+        idx += 1
+        while idx < len(merged_all) and cluster.add_report(merged_all[idx]):
+            idx += 1
+        outcomes.append(cluster.evaluate(track_hypothesis))
+    cluster_event: Optional[ClusterEvent] = None
+    cluster_report: Optional[ClusterReport] = None
+    for event, report in outcomes:
+        cluster_event, cluster_report = event, report
+        if event == ClusterEvent.CONFIRMED:
+            break
+
+    return OfflineScenarioResult(
+        cluster_outcomes=outcomes,
+        reports_by_node=reports_by_node,
+        merged_by_node=merged_by_node,
+        cluster_event=cluster_event,
+        cluster_report=cluster_report,
+        truth_windows_by_node=truth_windows_for(deployment, ships),
+        traces=traces if keep_traces else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# Networked runner
+# ----------------------------------------------------------------------
+@dataclass
+class NetworkScenarioResult:
+    """Outcome of a full discrete-event run."""
+
+    decisions: tuple[SinkDecision, ...]
+    mac_stats: dict[str, int]
+    lost_to_partition: int
+    sink_frames: int
+
+    @property
+    def intrusion_detected(self) -> bool:
+        """True when any sink decision confirmed an intrusion."""
+        return any(d.intrusion for d in self.decisions)
+
+
+def run_network_scenario(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack] = (),
+    sid_config: SIDNodeConfig | None = None,
+    synthesis_config: SynthesisConfig | None = None,
+    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    channel_config: ChannelConfig | None = None,
+    mac_config: MacConfig | None = None,
+    track_hypothesis: TravelLine | None = None,
+    seed: RandomState = None,
+) -> NetworkScenarioResult:
+    """Run one scenario through the full network stack.
+
+    Every node preprocesses its own synthesised trace and feeds
+    Delta-t windows into its SID state machine at the window end times;
+    protocol traffic rides the lossy simulated radio.
+    """
+    base = make_rng(seed)
+    root = int(base.integers(2**31))
+    cfg = sid_config if sid_config is not None else SIDNodeConfig()
+    synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
+    traces = synthesize_fleet_traces(
+        deployment,
+        ships,
+        synth,
+        disturbances_by_node=disturbances_by_node,
+        seed=derive_rng(root, "synthesis"),
+    )
+    sink = Sink()
+    channel = Channel(channel_config, seed=derive_rng(root, "channel"))
+    network = SensorNetwork(
+        positions=deployment.positions(),
+        sink_id=deployment.sink_id,
+        sink_position=deployment.sink_position,
+        sink=sink,
+        channel=channel,
+        mac_config=mac_config,
+        seed=derive_rng(root, "network"),
+    )
+    # Unlike the controlled offline experiments, the online system has
+    # no ground-truth sailing line: unless the caller supplies a
+    # hypothesis explicitly, each temporary-cluster head fits the line
+    # from its own reports (TravelLine.fit_from_reports).
+
+    window = cfg.detector.window_samples
+    hop = cfg.detector.hop_samples
+    for node in deployment:
+        sid = SIDNode(
+            node.node_id,
+            node.anchor,
+            cfg,
+            row=node.row,
+            column=node.column,
+            track_hint=track_hypothesis,
+        )
+        proc = network.add_node(sid, battery=node.mote.battery)
+        trace = traces[node.node_id]
+        a = preprocess_z_counts(trace.z, cfg.detector.preprocess)
+        for start in range(0, len(a) - window + 1, hop):
+            seg = a[start : start + window]
+            t_start = trace.t0 + start / cfg.detector.rate_hz
+            t_end = t_start + window / cfg.detector.rate_hz
+            network.sim.schedule_at(t_end, proc.feed_window, seg, t_start)
+        # Timer ticks keep cluster deadlines firing after sampling ends.
+        horizon = trace.t0 + trace.duration + 2 * cfg.cluster.collection_timeout_s
+        t = trace.t0 + cfg.detector.window_s
+        while t < horizon:
+            network.sim.schedule_at(t, proc.tick)
+            t += cfg.detector.window_s
+
+    network.sim.run()
+    sink.flush()
+    return NetworkScenarioResult(
+        decisions=sink.decisions,
+        mac_stats=network.mac.stats.as_dict(),
+        lost_to_partition=network.lost_to_partition,
+        sink_frames=network.sink_node.received_frames,
+    )
+
+
+# ----------------------------------------------------------------------
+# Duty-cycled runner (Sec. IV-A power management)
+# ----------------------------------------------------------------------
+@dataclass
+class DutyCycledScenarioResult:
+    """Outcome of a duty-cycled run."""
+
+    reports_by_node: dict[int, list[NodeReport]]
+    merged_by_node: dict[int, list[NodeReport]]
+    controller: "DutyCycleController"
+    first_alarm_time: Optional[float]
+    truth_windows_by_node: dict[int, list[TimeWindow]]
+
+    @property
+    def n_reports(self) -> int:
+        """Total window-level reports raised."""
+        return sum(len(v) for v in self.reports_by_node.values())
+
+
+def run_dutycycled_scenario(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack] = (),
+    detector_config: NodeDetectorConfig | None = None,
+    duty_config: "DutyCycleConfig | None" = None,
+    synthesis_config: SynthesisConfig | None = None,
+    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    seed: RandomState = None,
+) -> DutyCycledScenarioResult:
+    """Run the Sec. IV-A sentinel/wake-up policy over one scenario.
+
+    Nodes only evaluate detection windows while active; the first
+    sentinel alarm wakes the whole fleet after the configured latency,
+    so most nodes sleep through quiet water yet still catch the ship.
+    Windows are processed in global time order so an alarm at t can
+    wake other nodes for their windows after t.
+    """
+    from dataclasses import replace
+
+    from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+
+    synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
+    det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
+    traces = synthesize_fleet_traces(
+        deployment,
+        ships,
+        synth,
+        disturbances_by_node=disturbances_by_node,
+        seed=seed,
+    )
+    controller = DutyCycleController(
+        [n.node_id for n in deployment], duty_config
+    )
+    # Sentinels run a coarse (decimated) detection; the wake-up raises
+    # the rate back to full (Sec. IV-A).  Coarse detection keeps its own
+    # detector instances because the baseline statistics are
+    # rate-specific.
+    coarse_hz = controller.config.coarse_rate_hz
+    decimation = (
+        max(int(round(det_cfg.rate_hz / coarse_hz)), 1)
+        if coarse_hz is not None
+        else 1
+    )
+    coarse_cfg = (
+        replace(
+            det_cfg,
+            rate_hz=det_cfg.rate_hz / decimation,
+            preprocess=replace(
+                det_cfg.preprocess,
+                rate_hz=det_cfg.preprocess.rate_hz / decimation,
+            ),
+        )
+        if decimation > 1
+        else det_cfg
+    )
+    detectors = {
+        n.node_id: NodeDetector(
+            n.node_id, n.anchor, det_cfg, row=n.row, column=n.column
+        )
+        for n in deployment
+    }
+    coarse_detectors = {
+        n.node_id: NodeDetector(
+            n.node_id, n.anchor, coarse_cfg, row=n.row, column=n.column
+        )
+        for n in deployment
+    }
+    preprocessed = {
+        nid: preprocess_z_counts(tr.z, det_cfg.preprocess)
+        for nid, tr in traces.items()
+    }
+    coarse_preprocessed = {
+        nid: preprocess_z_counts(
+            tr.z[::decimation], coarse_cfg.preprocess
+        )
+        for nid, tr in traces.items()
+    }
+    window = det_cfg.window_samples
+    hop = det_cfg.hop_samples
+    coarse_window = coarse_cfg.window_samples
+    # Build the (t0, node_id, start) schedule in global time order.
+    schedule: list[tuple[float, int, int]] = []
+    for nid, a in preprocessed.items():
+        t_base = traces[nid].t0
+        for start in range(0, len(a) - window + 1, hop):
+            schedule.append((t_base + start / det_cfg.rate_hz, nid, start))
+    schedule.sort()
+
+    reports_by_node: dict[int, list[NodeReport]] = {
+        nid: [] for nid in preprocessed
+    }
+    first_alarm: Optional[float] = None
+    for t0, nid, start in schedule:
+        detector = detectors[nid]
+        seg = preprocessed[nid][start : start + window]
+        if not detector.initialized:
+            # Initialization windows always run (they happen right after
+            # deployment, before the duty cycle engages); both rate
+            # variants build their baselines during this phase.
+            detector.process_window(seg, t0)
+            c_start = start // decimation
+            coarse_detectors[nid].process_window(
+                coarse_preprocessed[nid][c_start : c_start + coarse_window],
+                t0,
+            )
+            continue
+        if not controller.is_active(nid, t0):
+            continue
+        if controller.in_wakeup(t0) or decimation == 1:
+            report = detector.process_window(seg, t0)
+        else:
+            # Sentinel mode: coarse detection at the reduced rate.
+            c_start = start // decimation
+            c_seg = coarse_preprocessed[nid][
+                c_start : c_start + coarse_window
+            ]
+            if c_seg.size < coarse_window:
+                continue
+            report = coarse_detectors[nid].process_window(c_seg, t0)
+        if report is not None:
+            reports_by_node[nid].append(report)
+            controller.alarm(report.onset_time)
+            if first_alarm is None:
+                first_alarm = report.onset_time
+    return DutyCycledScenarioResult(
+        reports_by_node=reports_by_node,
+        merged_by_node={
+            nid: merge_reports(reports)
+            for nid, reports in reports_by_node.items()
+        },
+        controller=controller,
+        first_alarm_time=first_alarm,
+        truth_windows_by_node=truth_windows_for(deployment, ships),
+    )

@@ -1,0 +1,101 @@
+"""Intruding-ship tracks.
+
+A :class:`ShipTrack` is a straight, constant-speed run (the paper's
+testing runs "were performed by driving a fishing boat with different
+speeds across the testing field").  It carries the speed in knots (the
+paper's unit), produces the matching :class:`~repro.physics.kelvin.KelvinWake`
+and the ground-truth :class:`~repro.detection.cluster.TravelLine`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import KNOT
+from repro.detection.cluster import TravelLine
+from repro.errors import ConfigurationError
+from repro.physics.kelvin import KelvinWake
+from repro.types import Position
+
+
+@dataclass(frozen=True)
+class ShipTrack:
+    """One straight constant-speed ship run."""
+
+    start: Position
+    heading_rad: float
+    speed_knots: float
+    t0: float = 0.0
+    #: Optional override of the eq.-1 wake amplitude coefficient.
+    wake_coefficient: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.speed_knots <= 0:
+            raise ConfigurationError(
+                f"speed must be positive, got {self.speed_knots} knots"
+            )
+
+    @property
+    def speed_mps(self) -> float:
+        """Ship speed in m/s."""
+        return self.speed_knots * KNOT
+
+    def position_at(self, t: float) -> Position:
+        """Ship position at time ``t``."""
+        s = self.speed_mps * (t - self.t0)
+        return Position(
+            self.start.x + s * math.cos(self.heading_rad),
+            self.start.y + s * math.sin(self.heading_rad),
+        )
+
+    def wake(self) -> KelvinWake:
+        """The Kelvin wake this run generates."""
+        return KelvinWake(
+            origin=self.start,
+            heading_rad=self.heading_rad,
+            speed_mps=self.speed_mps,
+            t0=self.t0,
+            amplitude_coefficient=self.wake_coefficient,
+        )
+
+    def travel_line(self) -> TravelLine:
+        """Ground-truth sailing line (for controlled experiments)."""
+        return TravelLine(point=self.start, heading_rad=self.heading_rad)
+
+    @classmethod
+    def through_point(
+        cls,
+        point: Position,
+        heading_rad: float,
+        speed_knots: float,
+        approach_distance_m: float = 300.0,
+        t0: float = 0.0,
+        wake_coefficient: Optional[float] = None,
+    ) -> "ShipTrack":
+        """A run that passes ``point`` from ``approach_distance_m`` out.
+
+        The ship starts ``approach_distance_m`` before ``point`` along
+        the heading, so the crossing happens mid-scenario rather than at
+        t0 — convenient for building runs that cross a grid's centre.
+        """
+        if approach_distance_m <= 0:
+            raise ConfigurationError(
+                f"approach distance must be positive, got {approach_distance_m}"
+            )
+        start = Position(
+            point.x - approach_distance_m * math.cos(heading_rad),
+            point.y - approach_distance_m * math.sin(heading_rad),
+        )
+        return cls(
+            start=start,
+            heading_rad=heading_rad,
+            speed_knots=speed_knots,
+            t0=t0,
+            wake_coefficient=wake_coefficient,
+        )
+
+    def time_at_point(self, point: Position) -> float:
+        """Time of closest approach to ``point``."""
+        return self.wake().closest_approach_time(point)

@@ -1,0 +1,99 @@
+"""The ST LIS3L02DQ three-axis accelerometer model (Sec. III-A).
+
+"The accelerometer has a range of +/-2g with 12 bit resolution."  The
+model converts a true specific force [m/s^2] into raw signed counts:
+
+- scale: 1024 counts per g (4096 codes over 4 g);
+- clipping at +/-2 g;
+- additive white noise and a small per-axis bias;
+- mid-tread integer quantisation.
+
+A resting, upright device therefore reads z ~= +1024 counts, matching
+the ~1000-count level around which the paper's Fig. 5 z-trace floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    ACCEL_COUNTS_PER_G,
+    ACCEL_RANGE_G,
+    GRAVITY,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, make_rng
+
+
+@dataclass(frozen=True)
+class AccelerometerSpec:
+    """Static characteristics of one accelerometer device."""
+
+    range_g: float = ACCEL_RANGE_G
+    counts_per_g: float = ACCEL_COUNTS_PER_G
+    noise_rms_counts: float = 4.0
+    bias_rms_counts: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.range_g <= 0:
+            raise ConfigurationError(f"range_g must be positive, got {self.range_g}")
+        if self.counts_per_g <= 0:
+            raise ConfigurationError(
+                f"counts_per_g must be positive, got {self.counts_per_g}"
+            )
+        if self.noise_rms_counts < 0 or self.bias_rms_counts < 0:
+            raise ConfigurationError("noise/bias RMS must be >= 0")
+
+    @property
+    def max_counts(self) -> int:
+        """Positive clipping level in counts."""
+        return int(round(self.range_g * self.counts_per_g))
+
+
+class Accelerometer:
+    """One physical device instance with its own frozen bias draw."""
+
+    def __init__(
+        self, spec: AccelerometerSpec | None = None, seed: RandomState = None
+    ) -> None:
+        self.spec = spec if spec is not None else AccelerometerSpec()
+        rng = make_rng(seed)
+        self._bias = rng.normal(0.0, self.spec.bias_rms_counts, size=3)
+        self._noise_rng = rng
+
+    @property
+    def bias_counts(self) -> np.ndarray:
+        """The device's per-axis bias [counts] (frozen at construction)."""
+        return self._bias.copy()
+
+    def mps2_to_counts(self, accel_mps2) -> np.ndarray:
+        """Ideal (noise-free, unclipped, unquantised) conversion."""
+        a = np.asarray(accel_mps2, dtype=float)
+        return a / GRAVITY * self.spec.counts_per_g
+
+    def read_axis(self, accel_mps2, axis: int) -> np.ndarray:
+        """Convert true specific force on one axis into raw counts.
+
+        ``axis`` is 0 (x), 1 (y) or 2 (z) and selects which bias applies.
+        """
+        if axis not in (0, 1, 2):
+            raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
+        ideal = self.mps2_to_counts(accel_mps2)
+        noisy = (
+            ideal
+            + self._bias[axis]
+            + self._noise_rng.normal(0.0, self.spec.noise_rms_counts, ideal.shape)
+        )
+        limit = self.spec.max_counts
+        clipped = np.clip(noisy, -limit, limit)
+        return np.rint(clipped).astype(np.int64)
+
+    def read(self, fx_mps2, fy_mps2, fz_mps2) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert a three-axis specific-force record into raw counts."""
+        return (
+            self.read_axis(fx_mps2, 0),
+            self.read_axis(fy_mps2, 1),
+            self.read_axis(fz_mps2, 2),
+        )

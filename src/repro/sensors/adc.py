@@ -1,0 +1,53 @@
+"""Analog-to-digital converter model.
+
+The ITS400 sensor board exposes the accelerometer through a 12-bit
+conversion; this module provides the generic mid-rise quantiser used by
+the accelerometer model (and available for the board's other channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ADC:
+    """An n-bit ADC spanning ``[v_min, v_max]``.
+
+    Values are clipped to the input range and quantised to integer
+    codes ``0 .. 2^bits - 1``; :meth:`to_volts` inverts the mapping to
+    the centre of each code's bin.
+    """
+
+    def __init__(self, bits: int, v_min: float, v_max: float) -> None:
+        if bits < 1 or bits > 32:
+            raise ConfigurationError(f"bits must be in [1, 32], got {bits}")
+        if v_max <= v_min:
+            raise ConfigurationError(
+                f"v_max ({v_max}) must exceed v_min ({v_min})"
+            )
+        self.bits = bits
+        self.v_min = v_min
+        self.v_max = v_max
+        self.levels = 2**bits
+        self._lsb = (v_max - v_min) / self.levels
+
+    @property
+    def lsb(self) -> float:
+        """Input span of one code."""
+        return self._lsb
+
+    def convert(self, volts) -> np.ndarray:
+        """Quantise analog values to integer codes."""
+        v = np.asarray(volts, dtype=float)
+        clipped = np.clip(v, self.v_min, self.v_max)
+        codes = np.floor((clipped - self.v_min) / self._lsb).astype(np.int64)
+        return np.clip(codes, 0, self.levels - 1)
+
+    def to_volts(self, codes) -> np.ndarray:
+        """Map codes back to bin-centre analog values."""
+        c = np.asarray(codes, dtype=float)
+        if np.any((c < 0) | (c > self.levels - 1)):
+            raise ConfigurationError("codes outside ADC range")
+        return self.v_min + (c + 0.5) * self._lsb

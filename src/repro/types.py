@@ -1,0 +1,137 @@
+"""Shared value types used across the SID reproduction packages."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the (flat) sea surface, metres east (x) / north (y)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Position":
+        """Return a new position translated by ``(dx, dy)``."""
+        return Position(self.x + dx, self.y + dy)
+
+    def as_array(self) -> np.ndarray:
+        """Return the position as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open time interval ``[start, end)`` in seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"TimeWindow end ({self.end}) precedes start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """True when ``start <= t < end``."""
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """True when the two half-open intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "TimeWindow") -> "TimeWindow | None":
+        """The overlapping window, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi <= lo:
+            return None
+        return TimeWindow(lo, hi)
+
+
+@dataclass(frozen=True)
+class AccelSample:
+    """One three-axis accelerometer reading in raw ADC counts."""
+
+    t: float
+    x: int
+    y: int
+    z: int
+
+
+@dataclass
+class AccelTrace:
+    """A fixed-rate three-axis accelerometer record in raw ADC counts.
+
+    This mirrors what the paper's motes log: integer counts at 50 Hz,
+    with gravity putting the resting z-axis near +1 g (~1024 counts for
+    the 12-bit, +/-2 g LIS3L02DQ).
+    """
+
+    t0: float
+    rate_hz: float
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        n = len(self.x)
+        if len(self.y) != n or len(self.z) != n:
+            raise ValueError("axis arrays must share one length")
+
+    def __len__(self) -> int:
+        return len(self.z)
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds."""
+        return len(self) / self.rate_hz
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps in seconds."""
+        return self.t0 + np.arange(len(self)) / self.rate_hz
+
+    def slice_window(self, window: TimeWindow) -> "AccelTrace":
+        """Return the samples whose timestamps fall inside ``window``."""
+        times = self.times
+        mask = (times >= window.start) & (times < window.end)
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return AccelTrace(
+                window.start,
+                self.rate_hz,
+                np.array([], dtype=self.x.dtype),
+                np.array([], dtype=self.y.dtype),
+                np.array([], dtype=self.z.dtype),
+            )
+        start = idx[0]
+        stop = idx[-1] + 1
+        return AccelTrace(
+            float(times[start]),
+            self.rate_hz,
+            self.x[start:stop],
+            self.y[start:stop],
+            self.z[start:stop],
+        )

@@ -1,0 +1,147 @@
+"""Light-weight checks of the experiment drivers.
+
+The heavy Monte-Carlo shape assertions live in ``benchmarks/``; here we
+verify the drivers run, return well-formed records and respect their
+parameters, using the smallest viable configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    Fig11Point,
+    run_correlation_table,
+    run_fig5_ocean_waves,
+    run_fig6_stft_comparison,
+    run_fig7_wavelet,
+    run_fig8_filtering,
+    run_fig11_detection_ratio,
+    run_fig12_speed_estimation,
+    run_threshold_ablation,
+)
+
+
+def test_fig5_driver():
+    trace, summary = run_fig5_ocean_waves(duration_s=60.0, seed=1)
+    assert len(trace) == 3000
+    assert set(summary) == {"x", "y", "z"}
+    assert summary["z"].mean > 800
+
+
+def test_fig6_driver():
+    cmp = run_fig6_stft_comparison(seed=2)
+    assert cmp.frequencies_hz[0] >= 0.1
+    assert cmp.frequencies_hz[-1] <= 5.0
+    assert cmp.ship_features.total_power > cmp.ambient_features.total_power
+
+
+def test_fig7_driver():
+    scalogram, summary = run_fig7_wavelet(seed=3)
+    assert 0.0 <= summary["wake_low_freq_fraction"] <= 1.0
+    assert scalogram.power.shape[0] == 40
+
+
+def test_fig8_driver():
+    result = run_fig8_filtering(seed=4)
+    assert result["filtered_above_1hz"] < result["raw_above_1hz"]
+    assert result["raw_rms"] > 0
+
+
+def test_fig11_point_ratio():
+    p = Fig11Point(m=2.0, af=0.5, true_positives=3, false_positives=1)
+    assert p.ratio == 0.75
+    assert Fig11Point(2.0, 0.5, 0, 0).ratio == 0.0
+
+
+def test_fig11_driver_minimal():
+    points = run_fig11_detection_ratio(
+        m_values=(2.0,), af_values=(0.5,), seeds=(1,)
+    )
+    assert len(points) == 1
+    assert points[0].true_positives + points[0].false_positives >= 0
+
+
+def test_correlation_table_shape():
+    matrix = run_correlation_table(
+        True, m_values=(2.0,), row_counts=(4, 6), seeds=(1,),
+        speeds_knots=(10.0,),
+    )
+    assert len(matrix) == 1
+    assert len(matrix[0]) == 2
+    # More required rows can only lower the product.
+    assert matrix[0][1] <= matrix[0][0] + 1e-9
+
+
+def test_fig12_driver_minimal():
+    rows = run_fig12_speed_estimation(
+        speeds_knots=(10.0,), alphas_deg=(55.0,), seeds=(1,)
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.min_knots <= row.max_knots
+    assert len(row.estimates_knots) >= 1
+
+
+def test_threshold_ablation_driver():
+    result = run_threshold_ablation(seeds=(1,))
+    assert set(result) == {
+        "adaptive_false_per_node_hour",
+        "fixed_false_per_node_hour",
+    }
+    assert result["fixed_false_per_node_hour"] >= 0
+
+
+def test_report_generator_quick(tmp_path):
+    """The report CLI runs end to end and covers every experiment."""
+    import io
+
+    from repro.analysis.report import generate_report
+
+    buffer = io.StringIO()
+    generate_report(buffer, quick=True)
+    text = buffer.getvalue()
+    for marker in (
+        "Fig. 5",
+        "Fig. 6",
+        "Fig. 7",
+        "Fig. 8",
+        "Fig. 11",
+        "Table I",
+        "Table II",
+        "Fig. 12",
+    ):
+        assert marker in text
+
+
+def test_report_cli_writes_file(tmp_path):
+    from repro.analysis.report import main
+
+    out = tmp_path / "report.txt"
+    assert main(["--quick", "-o", str(out)]) == 0
+    assert "Fig. 12" in out.read_text()
+
+
+def test_correlation_components_driver():
+    from repro.analysis.experiments import run_correlation_components
+
+    result = run_correlation_components(True, seeds=(1,))
+    assert set(result) == {"time_only", "energy_only", "combined"}
+    assert 0.0 <= result["combined"] <= 1.0
+    # Eq. 13: the combined coefficient is a product of the factors, so
+    # averaged over trials it cannot exceed either single factor.
+    assert result["combined"] <= result["time_only"] + 1e-9
+    assert result["combined"] <= result["energy_only"] + 1e-9
+
+
+def test_cluster_size_ablation_driver():
+    from repro.analysis.experiments import run_cluster_size_ablation
+
+    rows = run_cluster_size_ablation(row_counts=(2, 4), seeds=(1,))
+    assert [r["rows"] for r in rows] == [2, 4]
+    for r in rows:
+        assert set(r) >= {"rows", "mean_C_ship", "mean_C_noship", "margin"}
+        assert r["margin"] == pytest.approx(
+            r["mean_C_ship"] - r["mean_C_noship"]
+        )

@@ -1,0 +1,62 @@
+"""Tests for the table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis.tables import format_matrix, format_rows
+
+
+def test_matrix_layout():
+    out = format_matrix(
+        ["M=1", "M=2"],
+        ["r4", "r5"],
+        [[0.1, 0.2], [0.3, 0.4]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "r4" in lines[1] and "r5" in lines[1]
+    assert lines[2].startswith("M=1")
+    assert "0.100" in lines[2]
+
+
+def test_matrix_precision():
+    out = format_matrix(["a"], ["b"], [[0.123456]], precision=4)
+    assert "0.1235" in out
+
+
+def test_matrix_without_title():
+    out = format_matrix(["a"], ["b"], [[1.0]])
+    assert not out.startswith("\n")
+    assert len(out.splitlines()) == 2
+
+
+def test_matrix_shape_validation():
+    with pytest.raises(ConfigurationError):
+        format_matrix(["a"], ["b", "c"], [[1.0]])
+    with pytest.raises(ConfigurationError):
+        format_matrix(["a", "b"], ["c"], [[1.0]])
+
+
+def test_rows_layout():
+    out = format_rows(
+        [{"name": "x", "value": 1.5}, {"name": "y", "value": 2.0}],
+        columns=["name", "value"],
+        title="rows",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "rows"
+    assert "x" in lines[2]
+    assert "1.500" in lines[2]
+
+
+def test_rows_missing_key_blank():
+    out = format_rows([{"a": 1}], columns=["a", "b"])
+    assert out.splitlines()[1].rstrip().endswith("1")
+
+
+def test_rows_non_float_values():
+    out = format_rows([{"k": "3/4"}], columns=["k"])
+    assert "3/4" in out

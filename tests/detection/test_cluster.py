@@ -1,0 +1,246 @@
+"""Tests for temporary/static clusters and the travel-line hypothesis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.detection.cluster import (
+    ClusterEvent,
+    StaticCluster,
+    TemporaryCluster,
+    TemporaryClusterConfig,
+    TravelLine,
+    partition_static_clusters,
+)
+from repro.detection.reports import NodeReport
+from repro.types import Position
+
+
+def _report(node_id, x, y, t, energy, row=0, column=0, af=0.8):
+    return NodeReport(
+        node_id=node_id,
+        position=Position(x, y),
+        onset_time=t,
+        energy=energy,
+        anomaly_frequency=af,
+        row=row,
+        column=column,
+    )
+
+
+class TestTravelLine:
+    def test_signed_distance_sign(self):
+        line = TravelLine(Position(0, 0), heading_rad=0.0)
+        assert line.signed_distance(Position(5.0, 3.0)) == pytest.approx(3.0)
+        assert line.signed_distance(Position(5.0, -3.0)) == pytest.approx(-3.0)
+
+    def test_distance_unsigned(self):
+        line = TravelLine(Position(0, 0), heading_rad=math.pi / 2)
+        assert line.distance(Position(-4.0, 100.0)) == pytest.approx(4.0)
+
+    def test_fit_from_reports_recovers_diagonal(self):
+        # Highest-energy node per row traces the sailing line.
+        reports = [
+            _report(1, 10.0, 0.0, 100.0, 9.0, row=0),
+            _report(2, 20.0, 25.0, 110.0, 9.0, row=1),
+            _report(3, 30.0, 50.0, 120.0, 9.0, row=2),
+            _report(4, 90.0, 50.0, 121.0, 2.0, row=2),  # low energy decoy
+        ]
+        line = TravelLine.fit_from_reports(reports)
+        expected = math.atan2(50.0, 20.0)
+        assert line.heading_rad == pytest.approx(expected, abs=0.05) or (
+            line.heading_rad == pytest.approx(expected - math.pi, abs=0.05)
+        )
+
+    def test_fit_needs_two_rows(self):
+        with pytest.raises(GeometryError):
+            TravelLine.fit_from_reports([_report(1, 0, 0, 0, 1.0, row=0)])
+
+
+class TestStaticClusters:
+    def test_partition_groups_by_cell(self):
+        positions = {
+            0: Position(10, 10),
+            1: Position(20, 20),
+            2: Position(110, 10),
+            3: Position(110, 20),
+        }
+        clusters = partition_static_clusters(positions, 100.0)
+        assert len(clusters) == 2
+        sizes = sorted(len(c.member_ids) for c in clusters)
+        assert sizes == [2, 2]
+
+    def test_head_is_member(self):
+        positions = {i: Position(i * 10.0, 0.0) for i in range(5)}
+        for cluster in partition_static_clusters(positions, 30.0):
+            assert cluster.head_id in cluster.member_ids
+
+    def test_empty_input(self):
+        assert partition_static_clusters({}, 50.0) == []
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            partition_static_clusters({0: Position(0, 0)}, 0.0)
+
+    def test_static_cluster_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticCluster(cluster_id=0, member_ids=(1, 2), head_id=3)
+
+
+def _sweep_reports(track_x=35.0):
+    """Reports mimicking a wake sweeping a 4-row x 3-column grid.
+
+    Track runs parallel to the columns at x = track_x; closer columns
+    get earlier onsets and higher energies, row by row.
+    """
+    reports = []
+    nid = 0
+    for row in range(4):
+        for col in range(3):
+            x = col * 25.0
+            dist = abs(x - track_x)
+            reports.append(
+                _report(
+                    nid,
+                    x,
+                    row * 25.0,
+                    t=100.0 + row * 5.0 + dist * 0.55,
+                    energy=10.0 - dist * 0.05,
+                    row=row,
+                    column=col,
+                )
+            )
+            nid += 1
+    return reports
+
+
+class TestTemporaryCluster:
+    def _config(self, **kw):
+        defaults = dict(
+            collection_timeout_s=120.0,
+            quiet_timeout_s=30.0,
+            min_reports=5,
+            min_rows=4,
+        )
+        defaults.update(kw)
+        return TemporaryClusterConfig(**defaults)
+
+    def test_confirms_correlated_sweep(self):
+        reports = _sweep_reports()
+        cluster = TemporaryCluster(reports[0], self._config())
+        for r in reports[1:]:
+            assert cluster.add_report(r)
+        track = TravelLine(Position(35.0, 0.0), heading_rad=math.pi / 2)
+        event, report = cluster.evaluate(track)
+        assert event == ClusterEvent.CONFIRMED
+        assert report is not None
+        assert report.correlation > 0.4
+        assert report.n_reports == 12
+
+    def test_cancels_with_too_few_reports(self):
+        reports = _sweep_reports()[:2]
+        cluster = TemporaryCluster(reports[0], self._config())
+        cluster.add_report(reports[1])
+        event, report = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+        assert report is None
+
+    def test_min_rows_gate(self):
+        # Plenty of reports but only 2 rows -> never confirmed.
+        reports = [r for r in _sweep_reports() if r.row < 2]
+        cluster = TemporaryCluster(reports[0], self._config())
+        for r in reports[1:]:
+            cluster.add_report(r)
+        track = TravelLine(Position(35.0, 0.0), heading_rad=math.pi / 2)
+        event, report = cluster.evaluate(track)
+        assert event == ClusterEvent.REJECTED_LOW_CORRELATION
+
+    def test_quiet_timeout_for_lone_initiator(self):
+        cfg = self._config()
+        cluster = TemporaryCluster(_report(0, 0, 0, 100.0, 5.0), cfg)
+        assert cluster.deadline == pytest.approx(130.0)
+
+    def test_deadline_extends_after_first_member(self):
+        cfg = self._config()
+        cluster = TemporaryCluster(_report(0, 0, 0, 100.0, 5.0), cfg)
+        cluster.add_report(_report(1, 25, 0, 110.0, 5.0))
+        assert cluster.deadline == pytest.approx(220.0)
+
+    def test_late_report_refused(self):
+        cluster = TemporaryCluster(
+            _report(0, 0, 0, 100.0, 5.0), self._config()
+        )
+        assert not cluster.add_report(_report(1, 25, 0, 500.0, 5.0))
+
+    def test_duplicate_node_keeps_higher_energy_whole(self):
+        cluster = TemporaryCluster(
+            _report(0, 0, 0, 100.0, 5.0), self._config()
+        )
+        cluster.add_report(_report(0, 0, 0, 110.0, 9.0))
+        kept = cluster.reports[0]
+        assert kept.energy == 9.0
+        assert kept.onset_time == 110.0  # onset travels with its event
+
+    def test_closed_cluster_refuses_reports(self):
+        cluster = TemporaryCluster(
+            _report(0, 0, 0, 100.0, 5.0), self._config()
+        )
+        cluster.evaluate()
+        assert cluster.closed
+        assert not cluster.add_report(_report(1, 25, 0, 101.0, 5.0))
+
+    def test_speed_estimate_attached_when_geometry_holds(self):
+        # Steep crossing between columns 1 and 2 of a 4x3 grid.
+        alpha = math.radians(60.0)
+        track = TravelLine(Position(37.5, 37.5), heading_rad=alpha)
+        from repro.physics.kelvin import KelvinWake
+
+        wake = KelvinWake(
+            origin=Position(
+                37.5 - 200 * math.cos(alpha), 37.5 - 200 * math.sin(alpha)
+            ),
+            heading_rad=alpha,
+            speed_mps=5.144,
+        )
+        reports = []
+        nid = 0
+        for row in range(4):
+            for col in range(3):
+                pos = Position(col * 25.0, row * 25.0)
+                reports.append(
+                    _report(
+                        nid,
+                        pos.x,
+                        pos.y,
+                        t=wake.arrival_time(pos),
+                        energy=0.5 * wake.wave_height_at(pos) * 100,
+                        row=row,
+                        column=col,
+                    )
+                )
+                nid += 1
+        reports.sort(key=lambda r: r.onset_time)
+        cluster = TemporaryCluster(reports[0], self._config())
+        for r in reports[1:]:
+            cluster.add_report(r)
+        event, report = cluster.evaluate(track)
+        assert event == ClusterEvent.CONFIRMED
+        assert report is not None
+        assert report.speed_estimate_mps == pytest.approx(5.144, rel=0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(hops=0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(collection_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(quiet_timeout_s=500.0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(min_reports=0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(min_rows=0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(correlation_threshold=1.5)

@@ -1,0 +1,173 @@
+"""Tests for the spatial/temporal correlation machinery (eqs. 9-13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detection.correlation import (
+    cluster_correlation,
+    cluster_energy_correlation,
+    cluster_time_correlation,
+    longest_consistent_chain,
+    majority_side,
+    row_energy_correlation,
+    row_time_correlation,
+)
+from repro.detection.reports import RowObservation
+
+
+def _obs(node_id, dist, t, e, side=1):
+    return RowObservation(
+        node_id=node_id,
+        distance_to_track=dist,
+        onset_time=t,
+        energy=e,
+        side=side,
+    )
+
+
+class TestLongestChain:
+    def test_empty(self):
+        assert longest_consistent_chain([]) == 0
+
+    def test_fully_ordered(self):
+        items = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert longest_consistent_chain(items) == 3
+
+    def test_fully_reversed(self):
+        items = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert longest_consistent_chain(items) == 1
+
+    def test_partial(self):
+        items = [(1.0, 1.0), (2.0, 5.0), (3.0, 2.0), (4.0, 3.0)]
+        assert longest_consistent_chain(items) == 3
+
+    def test_equal_primaries_cannot_chain(self):
+        items = [(1.0, 1.0), (1.0, 2.0)]
+        assert longest_consistent_chain(items) == 1
+
+    def test_strictness_on_secondary(self):
+        items = [(1.0, 2.0), (2.0, 2.0)]
+        assert longest_consistent_chain(items) == 1
+
+    def test_input_order_irrelevant(self):
+        items = [(3.0, 3.0), (1.0, 1.0), (2.0, 2.0)]
+        assert longest_consistent_chain(items) == 3
+
+
+class TestRowCorrelations:
+    def test_empty_row_is_zero(self):
+        assert row_time_correlation([]) == 0.0
+        assert row_energy_correlation([]) == 0.0
+
+    def test_single_report_is_one(self):
+        # Paper: "Crt(i) = 1 if there is only one report in one row".
+        assert row_time_correlation([_obs(1, 5.0, 100.0, 3.0)]) == 1.0
+        assert row_energy_correlation([_obs(1, 5.0, 100.0, 3.0)]) == 1.0
+
+    def test_perfect_time_order(self):
+        # Closer nodes detected earlier.
+        row = [
+            _obs(1, 10.0, 100.0, 9.0),
+            _obs(2, 30.0, 110.0, 7.0),
+            _obs(3, 50.0, 120.0, 5.0),
+        ]
+        assert row_time_correlation(row) == 1.0
+
+    def test_perfect_energy_order(self):
+        # Closer nodes carry higher energy (eq. 1 decay).
+        row = [
+            _obs(1, 10.0, 100.0, 9.0),
+            _obs(2, 30.0, 110.0, 7.0),
+            _obs(3, 50.0, 120.0, 5.0),
+        ]
+        assert row_energy_correlation(row) == 1.0
+
+    def test_scrambled_time_order(self):
+        row = [
+            _obs(1, 10.0, 120.0, 9.0),
+            _obs(2, 30.0, 110.0, 7.0),
+            _obs(3, 50.0, 100.0, 5.0),
+        ]
+        assert row_time_correlation(row) == pytest.approx(1.0 / 3.0)
+
+    def test_one_inversion(self):
+        row = [
+            _obs(1, 10.0, 100.0, 9.0),
+            _obs(2, 30.0, 125.0, 7.0),
+            _obs(3, 50.0, 120.0, 5.0),
+            _obs(4, 70.0, 130.0, 3.0),
+        ]
+        assert row_time_correlation(row) == pytest.approx(3.0 / 4.0)
+
+
+class TestClusterCorrelations:
+    def _good_row(self, base_t):
+        return [
+            _obs(1, 10.0, base_t, 9.0),
+            _obs(2, 30.0, base_t + 10, 7.0),
+            _obs(3, 50.0, base_t + 20, 5.0),
+        ]
+
+    def test_products_eq10_eq12(self):
+        rows = [self._good_row(100.0), self._good_row(130.0)]
+        assert cluster_time_correlation(rows) == 1.0
+        assert cluster_energy_correlation(rows) == 1.0
+
+    def test_eq13_combined(self):
+        rows = [self._good_row(100.0), self._good_row(130.0)]
+        cnt, cne, c = cluster_correlation(rows)
+        assert c == cnt * cne == 1.0
+
+    def test_empty_row_zeroes_product(self):
+        rows = [self._good_row(100.0), []]
+        _, _, c = cluster_correlation(rows)
+        assert c == 0.0
+
+    def test_partial_row_shrinks_product(self):
+        bad_row = [
+            _obs(1, 10.0, 120.0, 9.0),
+            _obs(2, 30.0, 100.0, 7.0),  # time inverted
+            _obs(3, 50.0, 130.0, 5.0),
+        ]
+        _, _, c = cluster_correlation([self._good_row(100.0), bad_row])
+        assert 0.0 < c < 1.0
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_time_correlation([])
+
+
+class TestMajoritySide:
+    def test_keeps_bigger_side(self):
+        obs = [
+            _obs(1, 5.0, 100.0, 9.0, side=1),
+            _obs(2, 25.0, 110.0, 7.0, side=1),
+            _obs(3, 10.0, 105.0, 8.0, side=-1),
+        ]
+        kept = majority_side(obs)
+        assert {o.node_id for o in kept} == {1, 2}
+
+    def test_tie_prefers_port(self):
+        obs = [
+            _obs(1, 5.0, 100.0, 9.0, side=1),
+            _obs(2, 5.0, 100.0, 9.0, side=-1),
+        ]
+        kept = majority_side(obs)
+        assert kept[0].side == 1
+
+    def test_empty(self):
+        assert majority_side([]) == []
+
+    def test_removes_near_tie_ambiguity(self):
+        # Two nodes straddling the line at nearly equal distance would
+        # be an unresolvable ordering; one-side filtering removes one.
+        obs = [
+            _obs(1, 22.0, 100.0, 9.0, side=1),
+            _obs(2, 23.0, 99.0, 9.5, side=-1),
+            _obs(3, 45.0, 110.0, 7.0, side=1),
+        ]
+        kept = majority_side(obs)
+        assert all(o.side == 1 for o in kept)
+        assert row_time_correlation(kept) == 1.0

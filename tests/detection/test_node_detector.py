@@ -1,0 +1,180 @@
+"""Tests for the node-level detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalLengthError
+from repro.detection.node_detector import (
+    NodeDetector,
+    NodeDetectorConfig,
+    merge_reports,
+)
+from repro.detection.reports import NodeReport
+from repro.types import Position
+
+
+def _config(**kw):
+    defaults = dict(m=2.0, af_threshold=0.5, window_s=2.0, init_windows=2)
+    defaults.update(kw)
+    return NodeDetectorConfig(**defaults)
+
+
+def _detector(**kw):
+    return NodeDetector(7, Position(1.0, 2.0), _config(**kw), row=3, column=2)
+
+
+def _ambient(rng, n):
+    """Rectified half-normal-ish ambient stream."""
+    return np.abs(rng.normal(0.0, 1.0, n))
+
+
+class TestStreaming:
+    def test_initialization_absorbs_first_windows(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        assert det.process_window(_ambient(rng, w), 0.0) is None
+        assert not det.initialized
+        assert det.process_window(_ambient(rng, w), 2.0) is None
+        assert det.initialized
+
+    def test_quiet_window_updates_baseline(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        for i in range(3):
+            det.process_window(_ambient(rng, w), 2.0 * i)
+        assert det.baseline.n_updates == 1  # third window updated
+
+    def test_burst_produces_report(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        for i in range(4):
+            det.process_window(_ambient(rng, w), 2.0 * i)
+        burst = _ambient(rng, w) + 10.0
+        report = det.process_window(burst, 8.0)
+        assert report is not None
+        assert report.node_id == 7
+        assert report.row == 3 and report.column == 2
+        assert report.anomaly_frequency > 0.5
+        assert report.energy > 5.0
+
+    def test_report_onset_time_is_first_crossing(self, rng):
+        # Bounded (uniform) ambient noise cannot cross the threshold on
+        # its own, so the first crossing is exactly the burst start.
+        det = _detector(af_threshold=0.3)
+        w = det.config.window_samples
+        for i in range(4):
+            det.process_window(rng.uniform(0.0, 1.0, w), 2.0 * i)
+        burst = rng.uniform(0.0, 1.0, w)
+        burst[w // 2 :] += 10.0  # crossing starts mid-window
+        report = det.process_window(burst, 8.0)
+        assert report is not None
+        assert report.onset_time == pytest.approx(8.0 + 1.0, abs=0.05)
+
+    def test_anomalous_window_does_not_poison_baseline(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        for i in range(4):
+            det.process_window(_ambient(rng, w), 2.0 * i)
+        before = det.baseline.mean
+        det.process_window(_ambient(rng, w) + 10.0, 8.0)
+        assert det.baseline.mean == before
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(SignalLengthError):
+            _detector().process_window(np.array([]), 0.0)
+
+    def test_reset_forgets_baseline(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        for i in range(3):
+            det.process_window(_ambient(rng, w), 2.0 * i)
+        det.reset()
+        assert not det.initialized
+
+
+class TestOffline:
+    def test_process_samples_sliding(self, rng):
+        det = _detector()
+        w = det.config.window_samples
+        a = _ambient(rng, 20 * w)
+        a[10 * w : 10 * w + w // 2] += 10.0  # half-window burst
+        reports = det.process_samples(a, 0.0)
+        assert len(reports) >= 1
+        # Sliding windows catch the burst even though it straddles the
+        # aligned boundaries.
+        assert any(abs(r.onset_time - 20.0) < 2.5 for r in reports)
+
+    def test_short_signal_rejected(self, rng):
+        det = _detector()
+        with pytest.raises(SignalLengthError):
+            det.process_samples(_ambient(rng, 10), 0.0)
+
+    def test_hop_configurable(self, rng):
+        det = _detector(hop_s=2.0)  # no overlap
+        assert det.config.hop_samples == det.config.window_samples
+
+
+class TestMergeReports:
+    def _report(self, t, energy=1.0, af=0.8):
+        return NodeReport(
+            node_id=1,
+            position=Position(0, 0),
+            onset_time=t,
+            energy=energy,
+            anomaly_frequency=af,
+        )
+
+    def test_merges_consecutive(self):
+        merged = merge_reports(
+            [self._report(10.0, 2.0), self._report(11.0, 5.0)], gap_s=4.0
+        )
+        assert len(merged) == 1
+        assert merged[0].onset_time == 10.0
+        assert merged[0].energy == 5.0
+
+    def test_keeps_separate_events(self):
+        merged = merge_reports(
+            [self._report(10.0), self._report(100.0)], gap_s=4.0
+        )
+        assert len(merged) == 2
+
+    def test_unsorted_input(self):
+        merged = merge_reports(
+            [self._report(100.0), self._report(10.0), self._report(11.0)]
+        )
+        assert len(merged) == 2
+        assert merged[0].onset_time == 10.0
+
+    def test_empty_input(self):
+        assert merge_reports([]) == []
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_reports([], gap_s=-1.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(m=0.0),
+            dict(af_threshold=0.0),
+            dict(af_threshold=1.5),
+            dict(window_s=0.0),
+            dict(hop_s=3.0),
+            dict(init_windows=0),
+            dict(rate_hz=0.0),
+            dict(beta1=1.5),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigurationError):
+            _config(**kw)
+
+    def test_window_samples(self):
+        assert _config(window_s=2.0, rate_hz=50.0).window_samples == 100
+
+    def test_default_hop_is_half_window(self):
+        assert _config().hop_samples == 50

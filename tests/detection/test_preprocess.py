@@ -1,0 +1,78 @@
+"""Tests for the Sec. IV-B signal conditioning chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import ACCEL_COUNTS_PER_G
+from repro.errors import ConfigurationError
+from repro.detection.preprocess import (
+    PreprocessConfig,
+    lowpass_counts,
+    preprocess_z_counts,
+)
+
+
+def _counts(signal_g: np.ndarray) -> np.ndarray:
+    """Counts for a signal expressed in g around the 1 g offset."""
+    return np.rint((1.0 + signal_g) * ACCEL_COUNTS_PER_G).astype(np.int64)
+
+
+def test_output_non_negative_by_default():
+    rng = np.random.default_rng(0)
+    z = _counts(0.1 * rng.normal(size=2000))
+    out = preprocess_z_counts(z)
+    assert np.all(out >= 0.0)
+
+
+def test_gravity_removed():
+    z = np.full(2000, int(ACCEL_COUNTS_PER_G))
+    out = preprocess_z_counts(z)
+    assert np.abs(out).max() < 1.0
+
+
+def test_rectification_folds_negative_excursions():
+    t = np.arange(0, 40, 0.02)
+    z = _counts(0.2 * np.sin(2 * np.pi * 0.4 * t))
+    rectified = preprocess_z_counts(z)
+    signed = preprocess_z_counts(
+        z, PreprocessConfig(rectify=False)
+    )
+    assert signed.min() < -50  # below-1g excursions exist
+    assert np.allclose(rectified, np.abs(signed), atol=1e-9)
+
+
+def test_high_frequency_removed():
+    t = np.arange(0, 40, 0.02)
+    z = _counts(0.05 * np.sin(2 * np.pi * 0.4 * t) + 0.3 * np.sin(2 * np.pi * 8.0 * t))
+    out = preprocess_z_counts(z, PreprocessConfig(rectify=False))
+    spec = np.abs(np.fft.rfft(out))
+    f = np.fft.rfftfreq(out.size, 0.02)
+    assert spec[np.argmin(np.abs(f - 8.0))] < 0.02 * spec[np.argmin(np.abs(f - 0.4))]
+
+
+def test_moving_average_path():
+    t = np.arange(0, 40, 0.02)
+    z = _counts(0.1 * np.sin(2 * np.pi * 0.4 * t))
+    cfg = PreprocessConfig(filter_kind="moving-average")
+    out = preprocess_z_counts(z, cfg)
+    assert out.shape == z.shape
+    assert np.all(out >= 0.0)
+
+
+def test_lowpass_counts_returns_floats():
+    z = np.full(500, 1024, dtype=np.int64)
+    out = lowpass_counts(z, PreprocessConfig())
+    assert out.dtype == float
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PreprocessConfig(rate_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        PreprocessConfig(cutoff_hz=30.0)
+    with pytest.raises(ConfigurationError):
+        PreprocessConfig(counts_per_g=0.0)
+    with pytest.raises(ConfigurationError):
+        PreprocessConfig(filter_kind="fir")

@@ -1,0 +1,85 @@
+"""Tests for the report dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detection.reports import (
+    ClusterReport,
+    NodeReport,
+    RowObservation,
+    SinkDecision,
+)
+from repro.types import Position
+
+
+def _node_report(**kw):
+    defaults = dict(
+        node_id=1,
+        position=Position(0, 0),
+        onset_time=10.0,
+        energy=5.0,
+        anomaly_frequency=0.7,
+    )
+    defaults.update(kw)
+    return NodeReport(**defaults)
+
+
+class TestNodeReport:
+    def test_valid(self):
+        r = _node_report()
+        assert r.WIRE_BYTES > 0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _node_report(energy=-1.0)
+
+    def test_af_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _node_report(anomaly_frequency=1.5)
+
+
+class TestRowObservation:
+    def test_valid(self):
+        obs = RowObservation(1, 10.0, 100.0, 5.0, side=-1)
+        assert obs.side == -1
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowObservation(1, -1.0, 100.0, 5.0)
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowObservation(1, 1.0, 100.0, 5.0, side=0)
+
+
+class TestClusterReport:
+    def _report(self, **kw):
+        defaults = dict(
+            head_id=1,
+            reports=(_node_report(),),
+            time_correlation=0.8,
+            energy_correlation=0.9,
+            correlation=0.72,
+            detection_time=12.0,
+        )
+        defaults.update(kw)
+        return ClusterReport(**defaults)
+
+    def test_valid(self):
+        r = self._report()
+        assert r.n_reports == 1
+        assert r.speed_estimate_mps is None
+
+    def test_correlations_validated(self):
+        with pytest.raises(ConfigurationError):
+            self._report(correlation=1.5)
+        with pytest.raises(ConfigurationError):
+            self._report(time_correlation=-0.1)
+
+
+class TestSinkDecision:
+    def test_counts_clusters(self):
+        d = SinkDecision(intrusion=True, time=100.0)
+        assert d.n_clusters == 0

@@ -1,0 +1,101 @@
+"""Tests for sink-level fusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detection.reports import ClusterReport, NodeReport
+from repro.detection.sink import Sink, SinkConfig
+from repro.types import Position
+
+
+def _cluster_report(t, c=0.8, speed=None, heading=None):
+    node = NodeReport(
+        node_id=1,
+        position=Position(0, 0),
+        onset_time=t,
+        energy=5.0,
+        anomaly_frequency=0.7,
+    )
+    return ClusterReport(
+        head_id=1,
+        reports=(node,),
+        time_correlation=c,
+        energy_correlation=1.0,
+        correlation=c,
+        detection_time=t,
+        speed_estimate_mps=speed,
+        heading_alpha_deg=heading,
+    )
+
+
+def test_reports_within_window_merge():
+    sink = Sink(SinkConfig(merge_window_s=60.0))
+    assert sink.receive(_cluster_report(100.0)) is None
+    assert sink.receive(_cluster_report(130.0)) is None
+    decision = sink.flush()
+    assert decision is not None
+    assert decision.intrusion
+    assert decision.n_clusters == 2
+
+
+def test_distant_report_finalises_previous_group():
+    sink = Sink(SinkConfig(merge_window_s=60.0))
+    sink.receive(_cluster_report(100.0))
+    decision = sink.receive(_cluster_report(300.0))
+    assert decision is not None
+    assert decision.n_clusters == 1
+    assert len(sink.pending_reports) == 1
+
+
+def test_low_correlation_group_not_intrusion():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0, c=0.1))
+    decision = sink.flush()
+    assert decision is not None
+    assert not decision.intrusion
+
+
+def test_mixed_group_confirms():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0, c=0.1))
+    sink.receive(_cluster_report(110.0, c=0.9))
+    decision = sink.flush()
+    assert decision.intrusion
+
+
+def test_speed_estimates_averaged():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0, speed=4.0, heading=50.0))
+    sink.receive(_cluster_report(110.0, speed=6.0, heading=70.0))
+    decision = sink.flush()
+    assert decision.speed_estimate_mps == pytest.approx(5.0)
+    assert decision.heading_alpha_deg == pytest.approx(60.0)
+
+
+def test_rejected_cluster_speed_ignored():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0, c=0.1, speed=99.0))
+    decision = sink.flush()
+    assert decision.speed_estimate_mps is None
+
+
+def test_flush_empty_returns_none():
+    assert Sink().flush() is None
+
+
+def test_decisions_accumulate():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0))
+    sink.flush()
+    sink.receive(_cluster_report(500.0))
+    sink.flush()
+    assert len(sink.decisions) == 2
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SinkConfig(merge_window_s=0.0)
+    with pytest.raises(ConfigurationError):
+        SinkConfig(correlation_threshold=2.0)

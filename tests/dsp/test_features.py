@@ -1,0 +1,136 @@
+"""Tests for spectral features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalLengthError
+from repro.dsp.features import (
+    band_energy,
+    count_spectral_peaks,
+    peak_width_hz,
+    smooth_spectrum,
+    spectral_entropy,
+    summarize_spectrum,
+)
+
+
+def _gauss_peak(f, center, width, height=1.0):
+    return height * np.exp(-0.5 * ((f - center) / width) ** 2)
+
+
+@pytest.fixture
+def freqs():
+    return np.linspace(0, 5, 501)
+
+
+class TestPeakCounting:
+    def test_single_peak(self, freqs):
+        p = _gauss_peak(freqs, 1.0, 0.1)
+        assert count_spectral_peaks(p) == 1
+
+    def test_two_peaks(self, freqs):
+        p = _gauss_peak(freqs, 1.0, 0.1) + _gauss_peak(freqs, 3.0, 0.1, 0.8)
+        assert count_spectral_peaks(p) == 2
+
+    def test_small_peak_below_threshold_ignored(self, freqs):
+        p = _gauss_peak(freqs, 1.0, 0.1) + _gauss_peak(freqs, 3.0, 0.1, 0.05)
+        assert count_spectral_peaks(p, min_rel_height=0.2) == 1
+
+    def test_close_peaks_merged(self, freqs):
+        p = _gauss_peak(freqs, 1.0, 0.05) + _gauss_peak(freqs, 1.05, 0.05)
+        assert count_spectral_peaks(p, min_separation_bins=20) == 1
+
+    def test_all_zero_spectrum(self, freqs):
+        assert count_spectral_peaks(np.zeros_like(freqs)) == 0
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(SignalLengthError):
+            count_spectral_peaks(np.array([1.0, 2.0]))
+
+    def test_rejects_bad_threshold(self, freqs):
+        with pytest.raises(ConfigurationError):
+            count_spectral_peaks(np.ones_like(freqs), min_rel_height=0.0)
+
+
+class TestPeakWidth:
+    def test_width_tracks_gaussian_sigma(self, freqs):
+        narrow = peak_width_hz(freqs, _gauss_peak(freqs, 2.0, 0.1))
+        wide = peak_width_hz(freqs, _gauss_peak(freqs, 2.0, 0.4))
+        assert wide > 3 * narrow
+
+    def test_fwhm_value(self, freqs):
+        width = peak_width_hz(freqs, _gauss_peak(freqs, 2.0, 0.2))
+        expected = 2.355 * 0.2  # gaussian FWHM
+        assert width == pytest.approx(expected, rel=0.1)
+
+    def test_mismatched_arrays_rejected(self, freqs):
+        with pytest.raises(ConfigurationError):
+            peak_width_hz(freqs, np.ones(10))
+
+
+class TestBandEnergy:
+    def test_band_selects_correct_region(self, freqs):
+        p = _gauss_peak(freqs, 1.0, 0.1)
+        inside = band_energy(freqs, p, 0.5, 1.5)
+        outside = band_energy(freqs, p, 3.0, 5.0)
+        assert inside > 100 * max(outside, 1e-12)
+
+    def test_inverted_band_rejected(self, freqs):
+        with pytest.raises(ConfigurationError):
+            band_energy(freqs, np.ones_like(freqs), 2.0, 1.0)
+
+
+class TestEntropy:
+    def test_delta_has_zero_entropy(self):
+        p = np.zeros(100)
+        p[50] = 1.0
+        assert spectral_entropy(p) == 0.0
+
+    def test_uniform_has_max_entropy(self):
+        p = np.ones(100)
+        assert spectral_entropy(p) == pytest.approx(np.log(100))
+
+    def test_concentrated_less_than_spread(self, freqs):
+        concentrated = _gauss_peak(freqs, 1.0, 0.05)
+        spread = _gauss_peak(freqs, 1.0, 1.0)
+        assert spectral_entropy(concentrated) < spectral_entropy(spread)
+
+    def test_zero_power(self):
+        assert spectral_entropy(np.zeros(10)) == 0.0
+
+
+class TestSmoothing:
+    def test_preserves_total_power_approximately(self, freqs):
+        rng = np.random.default_rng(0)
+        p = _gauss_peak(freqs, 1.0, 0.3) * rng.exponential(1.0, freqs.size)
+        sm = smooth_spectrum(p, 9)
+        assert sm.sum() == pytest.approx(p.sum(), rel=0.05)
+
+    def test_reduces_variance(self, freqs):
+        rng = np.random.default_rng(0)
+        p = rng.exponential(1.0, freqs.size)
+        assert smooth_spectrum(p, 15).std() < 0.6 * p.std()
+
+    def test_width_one_is_identity(self, freqs):
+        p = np.arange(float(freqs.size))
+        assert np.array_equal(smooth_spectrum(p, 1), p)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            smooth_spectrum(np.ones(10), 0)
+
+
+class TestSummarize:
+    def test_full_record(self, freqs):
+        p = _gauss_peak(freqs, 1.5, 0.2)
+        s = summarize_spectrum(freqs, p)
+        assert s.n_peaks == 1
+        assert s.dominant_frequency_hz == pytest.approx(1.5, abs=0.02)
+        assert s.total_power == pytest.approx(p.sum())
+        assert s.entropy_nats > 0
+
+    def test_mismatched_inputs_rejected(self, freqs):
+        with pytest.raises(ConfigurationError):
+            summarize_spectrum(freqs, np.ones(7))

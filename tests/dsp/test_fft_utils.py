@@ -1,0 +1,71 @@
+"""Tests for FFT helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalLengthError
+from repro.dsp.fft_utils import next_pow2, power_spectrum
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1000, 1024), (1025, 2048)],
+)
+def test_next_pow2(n, expected):
+    assert next_pow2(n) == expected
+
+
+def test_power_spectrum_locates_tone():
+    rate = 50.0
+    t = np.arange(0, 40, 1 / rate)
+    sig = np.sin(2 * np.pi * 0.5 * t)
+    f, p = power_spectrum(sig, rate)
+    assert abs(f[np.argmax(p)] - 0.5) < 0.05
+
+
+def test_power_spectrum_detrends_dc():
+    rate = 50.0
+    t = np.arange(0, 20, 1 / rate)
+    sig = 1000.0 + np.sin(2 * np.pi * 1.0 * t)
+    f, p = power_spectrum(sig, rate)
+    assert f[np.argmax(p)] > 0.5  # DC removed, tone dominates
+
+
+def test_power_spectrum_keeps_dc_when_not_detrended():
+    rate = 50.0
+    sig = np.full(1000, 7.0)
+    f, p = power_spectrum(sig, rate, detrend=False, window="rect")
+    assert np.argmax(p) == 0
+
+
+def test_power_spectrum_frequencies_up_to_nyquist():
+    f, _ = power_spectrum(np.random.default_rng(0).normal(size=256), 50.0)
+    assert f[-1] == pytest.approx(25.0)
+
+
+def test_power_spectrum_nfft_padding():
+    sig = np.sin(np.linspace(0, 20, 300))
+    f, p = power_spectrum(sig, 50.0, nfft=1024)
+    assert len(f) == 513
+
+
+def test_power_spectrum_rejects_short():
+    with pytest.raises(SignalLengthError):
+        power_spectrum(np.array([1.0]), 50.0)
+
+
+def test_power_spectrum_rejects_bad_rate():
+    with pytest.raises(SignalLengthError):
+        power_spectrum(np.ones(100), 0.0)
+
+
+def test_parseval_energy_ratio():
+    # Windowed power spectrum total tracks signal variance.
+    rng = np.random.default_rng(1)
+    sig = rng.normal(size=2048)
+    f, p = power_spectrum(sig, 50.0, window="rect")
+    # Parseval: sum |X_k|^2 (one-sided approximate doubling) ~ N * sum x^2
+    total = 2 * p.sum() - p[0] - (p[-1] if sig.size % 2 == 0 else 0.0)
+    assert total == pytest.approx(sig.size * np.sum(sig**2), rel=0.01)

@@ -1,0 +1,117 @@
+"""Tests for the anchor-based localization service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.network.localization import (
+    LocalizationConfig,
+    LocalizationService,
+    corner_anchors,
+)
+from repro.types import Position
+
+
+@pytest.fixture
+def anchors():
+    return corner_anchors(200.0, 200.0)
+
+
+@pytest.fixture
+def service(anchors):
+    return LocalizationService(anchors, seed=1)
+
+
+def test_corner_anchor_layout():
+    anchors = corner_anchors(100.0, 50.0, margin_m=10.0)
+    assert len(anchors) == 4
+    assert anchors[1000] == Position(-10.0, -10.0)
+    assert anchors[1003] == Position(110.0, 60.0)
+
+
+def test_noise_free_solve_is_exact(anchors):
+    service = LocalizationService(
+        anchors,
+        LocalizationConfig(range_noise_floor_m=0.0, range_noise_fraction=0.0),
+        seed=2,
+    )
+    truth = Position(70.0, 120.0)
+    fix = service.localize(truth)
+    assert fix.distance_to(truth) < 1e-6
+
+
+def test_noisy_fix_close_to_truth(service):
+    truth = Position(100.0, 100.0)
+    errors = [service.localize(truth).distance_to(truth) for _ in range(50)]
+    assert np.mean(errors) < 5.0
+
+
+def test_error_grows_with_noise(anchors):
+    truth = Position(100.0, 100.0)
+    quiet = LocalizationService(
+        anchors, LocalizationConfig(range_noise_floor_m=0.2), seed=3
+    )
+    loud = LocalizationService(
+        anchors, LocalizationConfig(range_noise_floor_m=5.0), seed=3
+    )
+    assert loud.expected_error_m(truth) > quiet.expected_error_m(truth)
+
+
+def test_center_better_than_far_outside(service):
+    # Outside the anchor hull the geometry dilutes precision.
+    center = service.expected_error_m(Position(100.0, 100.0))
+    outside = service.expected_error_m(Position(100.0, 250.0))
+    assert outside > center
+
+
+def test_out_of_range_anchor_skipped(anchors):
+    service = LocalizationService(
+        anchors, LocalizationConfig(max_range_m=250.0), seed=4
+    )
+    ranges = service.measure_ranges(Position(0.0, 0.0))
+    # The opposite corner at ~283 m is out of reach; the rest are in.
+    assert 1003 not in ranges
+    assert len(ranges) == 3
+
+
+def test_too_few_ranges_rejected(service):
+    with pytest.raises(EstimationError):
+        service.solve({1000: 10.0, 1001: 20.0})
+
+
+def test_initial_guess_accepted(service):
+    truth = Position(50.0, 50.0)
+    ranges = service.measure_ranges(truth)
+    fix = service.solve(ranges, initial_guess=Position(60.0, 60.0))
+    assert fix.distance_to(truth) < 10.0
+
+
+def test_deterministic_per_seed(anchors):
+    a = LocalizationService(anchors, seed=9).localize(Position(50, 50))
+    b = LocalizationService(anchors, seed=9).localize(Position(50, 50))
+    assert a == b
+
+
+def test_needs_three_anchors():
+    with pytest.raises(ConfigurationError):
+        LocalizationService({0: Position(0, 0), 1: Position(1, 0)})
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        LocalizationConfig(range_noise_floor_m=-1.0)
+    with pytest.raises(ConfigurationError):
+        LocalizationConfig(max_range_m=0.0)
+    with pytest.raises(ConfigurationError):
+        LocalizationConfig(iterations=0)
+
+
+def test_sufficient_precision_for_correlation():
+    # Sec. IV-C: localization only needs "certain precision" - metre-
+    # scale error against 23 m within-row spacing preserves ordering.
+    anchors = corner_anchors(125.0, 100.0, margin_m=20.0)
+    service = LocalizationService(anchors, seed=5)
+    err = service.expected_error_m(Position(60.0, 50.0))
+    assert err < 5.0

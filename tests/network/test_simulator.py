@@ -1,0 +1,138 @@
+"""Tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, log.append, "b")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(3.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "first")
+    sim.schedule(1.0, log.append, "second")
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_now_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, 1)
+    sim.schedule(10.0, log.append, 2)
+    sim.run(until=5.0)
+    assert log == [1]
+    assert sim.now == 5.0
+    assert sim.n_pending == 1
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert log == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_cancelled_events_skipped():
+    sim = Simulator()
+    log = []
+    ev = sim.schedule(1.0, log.append, "x")
+    ev.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_cancel_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert sim.run() == 0
+
+
+def test_step_single_event():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, 1)
+    sim.schedule(2.0, log.append, 2)
+    assert sim.step()
+    assert log == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_runaway_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_reentrancy_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.schedule(0.0, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.n_processed == 5
+
+
+def test_run_until_advances_to_until_when_idle():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0

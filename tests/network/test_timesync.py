@@ -1,0 +1,88 @@
+"""Tests for the beacon time-sync protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel, ChannelConfig
+from repro.network.routing import RoutingTable, build_connectivity
+from repro.network.timesync import TimeSyncProtocol
+from repro.sensors.clock import Clock
+from repro.types import Position
+
+
+@pytest.fixture
+def routing():
+    positions = {i: Position(i * 25.0, 0.0) for i in range(8)}
+    channel = Channel(ChannelConfig(shadowing_sigma_db=0.0), seed=0)
+    return RoutingTable(build_connectivity(positions, channel), sink_id=0)
+
+
+def test_sink_offset_zero(routing):
+    sync = TimeSyncProtocol(routing, seed=1)
+    offsets = sync.run_epoch(0.0)
+    assert offsets[0] == 0.0
+
+
+def test_all_connected_nodes_covered(routing):
+    sync = TimeSyncProtocol(routing, seed=1)
+    offsets = sync.run_epoch(0.0)
+    assert set(offsets) == set(range(8))
+
+
+def test_error_grows_with_depth():
+    positions = {i: Position(i * 25.0, 0.0) for i in range(40)}
+    channel = Channel(ChannelConfig(shadowing_sigma_db=0.0), seed=0)
+    routing = RoutingTable(build_connectivity(positions, channel), sink_id=0)
+    sync = TimeSyncProtocol(routing, per_hop_residual_s=0.001, seed=2)
+    # Average over epochs: |offset| should grow ~ sqrt(depth).
+    near, far = [], []
+    for _ in range(100):
+        offsets = sync.run_epoch(0.0)
+        near.append(abs(offsets[1]))
+        far.append(abs(offsets[39]))
+    assert np.mean(far) > 2.0 * np.mean(near)
+
+
+def test_zero_residual_perfect_sync(routing):
+    sync = TimeSyncProtocol(routing, per_hop_residual_s=0.0, seed=3)
+    offsets = sync.run_epoch(0.0)
+    assert all(v == 0.0 for v in offsets.values())
+
+
+def test_apply_to_clock(routing):
+    sync = TimeSyncProtocol(routing, per_hop_residual_s=0.002, seed=4)
+    sync.run_epoch(100.0)
+    clock = Clock(offset_s=5.0, drift_ppm=50.0)
+    sync.apply_to_clock(3, clock, 100.0)
+    assert clock.error_at(100.0) == pytest.approx(sync.offset_of(3))
+
+
+def test_unknown_node_rejected(routing):
+    sync = TimeSyncProtocol(routing, seed=5)
+    sync.run_epoch(0.0)
+    with pytest.raises(ConfigurationError):
+        sync.offset_of(99)
+
+
+def test_rms_requires_epoch(routing):
+    sync = TimeSyncProtocol(routing, seed=6)
+    with pytest.raises(ConfigurationError):
+        sync.rms_error()
+    sync.run_epoch(0.0)
+    assert sync.rms_error() >= 0.0
+
+
+def test_negative_residual_rejected(routing):
+    with pytest.raises(ConfigurationError):
+        TimeSyncProtocol(routing, per_hop_residual_s=-1.0)
+
+
+def test_precision_sufficient_for_speed_estimation(routing):
+    # Sec. IV-C: sync precision must serve eq. 16, whose timestamp
+    # differences are seconds; millisecond residuals are negligible.
+    sync = TimeSyncProtocol(routing, per_hop_residual_s=0.001, seed=7)
+    sync.run_epoch(0.0)
+    assert sync.rms_error() < 0.02

@@ -1,0 +1,116 @@
+"""Tests for the non-ship disturbance models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.disturbance import (
+    BirdStrike,
+    FishBump,
+    WindGust,
+    render_disturbances,
+)
+
+
+class TestFishBump:
+    def test_zero_outside_window(self):
+        d = FishBump(time=10.0, peak_accel=2.0)
+        t = np.array([9.9, 10.3, 50.0])
+        out = d.vertical_acceleration(t)
+        assert out[0] == 0.0 and out[2] == 0.0
+
+    def test_peak_at_center(self):
+        d = FishBump(time=10.0, peak_accel=2.0, duration=0.2)
+        assert d.vertical_acceleration(np.array([10.1]))[0] == pytest.approx(2.0)
+
+    def test_window_property(self):
+        d = FishBump(time=10.0, peak_accel=2.0, duration=0.2)
+        assert d.window.start == 10.0
+        assert d.window.end == pytest.approx(10.2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            FishBump(time=0, peak_accel=-1.0)
+        with pytest.raises(ConfigurationError):
+            FishBump(time=0, peak_accel=1.0, duration=0.0)
+
+
+class TestBirdStrike:
+    def test_starts_at_peak(self):
+        d = BirdStrike(time=5.0, peak_accel=3.0)
+        assert d.vertical_acceleration(np.array([5.0]))[0] == pytest.approx(3.0)
+
+    def test_decays(self):
+        d = BirdStrike(time=5.0, peak_accel=3.0, decay_s=0.5, ring_hz=2.0)
+        early = abs(d.vertical_acceleration(np.array([5.0]))[0])
+        late = abs(d.vertical_acceleration(np.array([6.5]))[0])
+        assert late < 0.2 * early
+
+    def test_rings(self):
+        d = BirdStrike(time=0.0, peak_accel=1.0, decay_s=2.0, ring_hz=1.0)
+        t = np.linspace(0, 2, 400)
+        out = d.vertical_acceleration(t)
+        assert (np.diff(np.sign(out[np.abs(out) > 1e-9])) != 0).sum() >= 2
+
+    def test_window_covers_decay(self):
+        d = BirdStrike(time=5.0, peak_accel=3.0, decay_s=1.0)
+        assert d.window.end == pytest.approx(10.0)
+
+
+class TestWindGust:
+    def test_zero_outside_window(self):
+        g = WindGust(start=10.0, duration=5.0, rms_accel=1.0, seed=1)
+        out = g.vertical_acceleration(np.array([9.0, 16.0]))
+        assert np.all(out == 0.0)
+
+    def test_envelope_tapers_to_zero(self):
+        g = WindGust(start=0.0, duration=4.0, rms_accel=1.0, seed=1)
+        edges = g.vertical_acceleration(np.array([1e-6, 4.0 - 1e-6]))
+        assert np.all(np.abs(edges) < 1e-3)
+
+    def test_energy_scales_with_rms(self):
+        t = np.linspace(0, 4, 800)
+        weak = WindGust(0.0, 4.0, rms_accel=0.5, seed=2).vertical_acceleration(t)
+        strong = WindGust(0.0, 4.0, rms_accel=2.0, seed=2).vertical_acceleration(t)
+        assert strong.std() > 3.0 * weak.std()
+
+    def test_deterministic_for_seed(self):
+        t = np.linspace(0, 4, 100)
+        a = WindGust(0.0, 4.0, 1.0, seed=9).vertical_acceleration(t)
+        b = WindGust(0.0, 4.0, 1.0, seed=9).vertical_acceleration(t)
+        assert np.array_equal(a, b)
+
+    def test_band_limited(self):
+        g = WindGust(0.0, 30.0, 1.0, band_hz=(0.5, 2.0), n_terms=64, seed=3)
+        t = np.arange(0, 30, 0.02)
+        out = g.vertical_acceleration(t)
+        spec = np.abs(np.fft.rfft(out)) ** 2
+        f = np.fft.rfftfreq(out.size, 0.02)
+        in_band = spec[(f >= 0.4) & (f <= 2.2)].sum()
+        assert in_band / spec.sum() > 0.95
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            WindGust(0.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            WindGust(0.0, 1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            WindGust(0.0, 1.0, 1.0, band_hz=(2.0, 1.0))
+
+
+def test_render_disturbances_sums():
+    t = np.linspace(9.5, 11, 100)
+    a = FishBump(time=10.0, peak_accel=1.0)
+    b = FishBump(time=10.0, peak_accel=2.0)
+    total = render_disturbances([a, b], t)
+    assert np.allclose(
+        total,
+        a.vertical_acceleration(t) + b.vertical_acceleration(t),
+    )
+
+
+def test_render_empty_is_zero():
+    t = np.linspace(0, 1, 10)
+    assert np.all(render_disturbances([], t) == 0.0)

@@ -1,0 +1,100 @@
+"""Tests for the spectral sea-state estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalLengthError
+from repro.physics.sea_state_estimator import (
+    SeaStateEstimator,
+    SeaStateEstimatorConfig,
+)
+from repro.physics.spectrum import (
+    PiersonMoskowitzSpectrum,
+    significant_wave_height,
+)
+from repro.physics.wavefield import AmbientWaveField
+from repro.types import Position
+
+
+def _accel_record(wind=5.0, duration=1200.0, seed=0):
+    spectrum = PiersonMoskowitzSpectrum(wind)
+    field = AmbientWaveField(
+        spectrum, n_components=128, f_max_hz=1.0, seed=seed
+    )
+    t = np.arange(0, duration, 0.02)
+    return spectrum, field.vertical_acceleration(Position(0, 0), t)
+
+
+def test_recovers_significant_wave_height():
+    spectrum, accel = _accel_record(wind=5.0)
+    est = SeaStateEstimator().estimate(accel)
+    truth = significant_wave_height(spectrum)
+    assert est.significant_wave_height_m == pytest.approx(truth, rel=0.2)
+
+
+def test_recovers_peak_period():
+    spectrum, accel = _accel_record(wind=6.0, seed=1)
+    est = SeaStateEstimator().estimate(accel)
+    truth = 1.0 / spectrum.peak_frequency_hz
+    assert est.peak_period_s == pytest.approx(truth, rel=0.25)
+
+
+def test_orders_sea_states():
+    _, calm = _accel_record(wind=3.0, seed=2)
+    _, rough = _accel_record(wind=8.0, seed=2)
+    estimator = SeaStateEstimator()
+    assert (
+        estimator.estimate(rough).significant_wave_height_m
+        > 2.0 * estimator.estimate(calm).significant_wave_height_m
+    )
+
+
+def test_pure_tone_height():
+    # eta = A sin(wt): accel amplitude A w^2; Hs = 4 * A / sqrt(2).
+    t = np.arange(0, 1200, 0.02)
+    f0, amp = 0.3, 0.4
+    accel = amp * (2 * np.pi * f0) ** 2 * np.sin(2 * np.pi * f0 * t)
+    est = SeaStateEstimator().estimate(accel)
+    assert est.significant_wave_height_m == pytest.approx(
+        4.0 * amp / np.sqrt(2.0), rel=0.05
+    )
+    assert est.peak_frequency_hz == pytest.approx(f0, abs=0.05)
+
+
+def test_zero_crossing_period_below_peak_period():
+    _, accel = _accel_record(wind=5.0, seed=3)
+    est = SeaStateEstimator().estimate(accel)
+    assert est.mean_zero_crossing_period_s < est.peak_period_s
+
+
+def test_heave_compensation_raises_estimate():
+    _, accel = _accel_record(wind=5.0, seed=4)
+    plain = SeaStateEstimator().estimate(accel)
+    compensated = SeaStateEstimator(
+        SeaStateEstimatorConfig(heave_corner_hz=0.6)
+    ).estimate(accel)
+    assert (
+        compensated.significant_wave_height_m
+        >= plain.significant_wave_height_m
+    )
+
+
+def test_short_record_rejected():
+    with pytest.raises(SignalLengthError):
+        SeaStateEstimator().estimate(np.zeros(100))
+
+
+def test_flat_record_rejected():
+    with pytest.raises(SignalLengthError):
+        SeaStateEstimator().estimate(np.zeros(5000))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SeaStateEstimatorConfig(rate_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        SeaStateEstimatorConfig(segment_samples=32)
+    with pytest.raises(ConfigurationError):
+        SeaStateEstimatorConfig(f_min_hz=0.5, f_max_hz=0.2)

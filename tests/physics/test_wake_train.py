@@ -1,0 +1,101 @@
+"""Tests for the wake train (enveloped packet) model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.kelvin import KelvinWake
+from repro.physics.wake_train import WakeTrain
+from repro.types import Position
+
+
+@pytest.fixture
+def train():
+    return WakeTrain(
+        arrival_time=100.0,
+        amplitude=0.2,
+        period=2.7,
+        duration=2.5,
+        chirp=-0.01,
+    )
+
+
+def test_zero_outside_support(train):
+    t = np.array([99.0, 102.6, 200.0])
+    assert np.all(train.elevation(t) == 0.0)
+    assert np.all(train.vertical_acceleration(t) == 0.0)
+
+
+def test_elevation_bounded_by_amplitude(train):
+    t = np.linspace(99, 104, 5000)
+    assert np.abs(train.elevation(t)).max() <= train.amplitude + 1e-12
+
+
+def test_envelope_starts_and_ends_at_zero(train):
+    eps = 1e-9
+    assert abs(train.elevation(np.array([100.0 + eps]))[0]) < 1e-6
+    assert abs(train.elevation(np.array([102.5 - eps]))[0]) < 1e-4
+
+
+def test_acceleration_matches_numerical_second_derivative(train):
+    dt = 1e-4
+    t = np.arange(100.2, 102.3, dt)
+    eta = train.elevation(t)
+    acc = train.vertical_acceleration(t)
+    num = np.gradient(np.gradient(eta, dt), dt)
+    err = np.abs(num[5:-5] - acc[5:-5]).max()
+    assert err < 0.01 * np.abs(acc).max()
+
+
+def test_peak_acceleration_prediction_order(train):
+    t = np.linspace(100, 102.5, 20000)
+    measured = np.abs(train.vertical_acceleration(t)).max()
+    predicted = train.peak_vertical_acceleration()
+    # The packet is short (envelope curvature matters), so allow 2x.
+    assert 0.5 * predicted < measured < 2.5 * predicted
+
+
+def test_from_wake_consistency():
+    wake = KelvinWake(
+        origin=Position(0, 0), heading_rad=0.0, speed_mps=5.144
+    )
+    point = Position(100.0, 25.0)
+    train = WakeTrain.from_wake(wake, point)
+    assert math.isclose(train.arrival_time, wake.arrival_time(point))
+    assert math.isclose(train.period, wake.wave_period())
+    assert math.isclose(
+        train.amplitude, 0.5 * wake.wave_height_at(point)
+    )
+    assert train.chirp < 0  # dispersion: later waves shorter
+
+
+def test_carrier_frequency(train):
+    assert math.isclose(train.carrier_frequency_hz, 1.0 / 2.7)
+
+
+def test_end_time(train):
+    assert math.isclose(train.end_time, 102.5)
+
+
+def test_oscillates_within_envelope(train):
+    t = np.linspace(100, 102.5, 2000)
+    eta = train.elevation(t)
+    signs = np.sign(eta[np.abs(eta) > 1e-6])
+    assert (np.diff(signs) != 0).sum() >= 1  # at least one zero crossing
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(arrival_time=0, amplitude=-1.0, period=2.0, duration=2.0),
+        dict(arrival_time=0, amplitude=1.0, period=0.0, duration=2.0),
+        dict(arrival_time=0, amplitude=1.0, period=2.0, duration=0.0),
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        WakeTrain(**kwargs)

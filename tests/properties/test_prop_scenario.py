@@ -1,0 +1,71 @@
+"""Property-based tests for scenario-level invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+from repro.scenario.coverage import BarrierAnalysis
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.ship import ShipTrack
+from repro.types import Position
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.floats(5.0, 100.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_grid_positions_unique_and_spaced(rows, cols, spacing):
+    grid = GridDeployment(rows, cols, spacing_m=spacing, seed=1)
+    positions = [n.anchor for n in grid]
+    assert len({(p.x, p.y) for p in positions}) == rows * cols
+    for a in positions:
+        for b in positions:
+            if a != b:
+                assert a.distance_to(b) >= spacing - 1e-9
+
+
+@given(
+    st.floats(0.5, 30.0, allow_nan=False),
+    st.floats(-math.pi, math.pi, allow_nan=False),
+    st.floats(-500.0, 500.0),
+    st.floats(-500.0, 500.0),
+    st.floats(0.0, 600.0),
+)
+@settings(max_examples=50)
+def test_ship_track_constant_speed(speed_kn, heading, x, y, t):
+    ship = ShipTrack(Position(x, y), heading, speed_kn)
+    p0 = ship.position_at(t)
+    p1 = ship.position_at(t + 10.0)
+    assert p0.distance_to(p1) == pytest.approx(10.0 * ship.speed_mps, rel=1e-9)
+
+
+@given(st.integers(2, 20), st.floats(0.05, 1.0), st.floats(1.0, 400.0))
+@settings(max_examples=30)
+def test_dutycycle_sentinel_count_bounds(n, fraction, period):
+    ctl = DutyCycleController(
+        list(range(n)),
+        DutyCycleConfig(sentinel_fraction=fraction, rotation_period_s=period),
+    )
+    assert 1 <= ctl.n_sentinels <= n
+    for slot in range(5):
+        sentinels = ctl.sentinels_at(slot * period + 0.5)
+        assert len(sentinels) == ctl.n_sentinels
+        assert all(s in ctl.node_ids for s in sentinels)
+
+
+@given(st.integers(1, 5), st.integers(1, 6), st.floats(1.0, 80.0))
+@settings(max_examples=30, deadline=None)
+def test_barrier_monotone_in_radius(rows, cols, radius):
+    grid = GridDeployment(rows, cols, spacing_m=30.0, seed=2)
+    small = BarrierAnalysis(grid, radius_m=radius).max_barriers()
+    large = BarrierAnalysis(grid, radius_m=radius * 1.5).max_barriers()
+    assert large >= small
+
+
+import pytest  # noqa: E402

@@ -1,0 +1,88 @@
+"""Tests for the grid deployment builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario.deployment import GridDeployment
+from repro.types import Position
+
+
+def test_row_major_ids(tiny_grid):
+    node = tiny_grid.node(3)
+    assert (node.row, node.column) == (1, 1)
+
+
+def test_positions_on_grid(tiny_grid):
+    assert tiny_grid.node(0).anchor == Position(0.0, 0.0)
+    assert tiny_grid.node(3).anchor == Position(25.0, 25.0)
+
+
+def test_len_and_iter(tiny_grid):
+    assert len(tiny_grid) == 4
+    assert [n.node_id for n in tiny_grid] == [0, 1, 2, 3]
+
+
+def test_sink_beyond_sensors(tiny_grid):
+    assert tiny_grid.sink_id == 4
+    assert tiny_grid.sink_position.x > 25.0
+
+
+def test_positions_dict(tiny_grid):
+    positions = tiny_grid.positions()
+    assert set(positions) == {0, 1, 2, 3}
+
+
+def test_row_nodes(tiny_grid):
+    row1 = tiny_grid.row_nodes(1)
+    assert [n.node_id for n in row1] == [2, 3]
+
+
+def test_row_nodes_out_of_range(tiny_grid):
+    with pytest.raises(ConfigurationError):
+        tiny_grid.row_nodes(5)
+
+
+def test_center():
+    grid = GridDeployment(3, 3, spacing_m=10.0, seed=0)
+    assert grid.center() == Position(10.0, 10.0)
+
+
+def test_node_lookup_bounds(tiny_grid):
+    with pytest.raises(ConfigurationError):
+        tiny_grid.node(99)
+
+
+def test_hardware_unique_per_node(tiny_grid):
+    biases = {
+        tuple(n.mote.accelerometer.bias_counts) for n in tiny_grid
+    }
+    assert len(biases) == 4
+
+
+def test_deterministic_per_seed():
+    a = GridDeployment(2, 2, seed=5)
+    b = GridDeployment(2, 2, seed=5)
+    assert list(a.node(1).mote.accelerometer.bias_counts) == list(
+        b.node(1).mote.accelerometer.bias_counts
+    )
+
+
+def test_paper_dimensions():
+    grid = GridDeployment(6, 5, seed=1)
+    assert len(grid) == 30
+    assert grid.node(29).anchor == Position(100.0, 125.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(rows=0, columns=3),
+        dict(rows=3, columns=0),
+        dict(rows=2, columns=2, spacing_m=0.0),
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ConfigurationError):
+        GridDeployment(**kwargs)

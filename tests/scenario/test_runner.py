@@ -1,0 +1,237 @@
+"""Tests for the offline and networked scenario runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.cluster import ClusterEvent, TemporaryClusterConfig
+from repro.detection.node_detector import NodeDetectorConfig
+from repro.detection.sid import SIDNodeConfig
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.presets import paper_ship
+from repro.scenario.runner import (
+    run_network_scenario,
+    run_offline_scenario,
+    truth_windows_for,
+)
+from repro.scenario.synthesis import SynthesisConfig
+
+
+@pytest.fixture
+def small_setup():
+    dep = GridDeployment(4, 3, seed=21)
+    ship = paper_ship(dep, cross_time_s=100.0, column_gap=1.5)
+    synth = SynthesisConfig(duration_s=200.0)
+    return dep, ship, synth
+
+
+def test_truth_windows_follow_wake(small_setup):
+    dep, ship, _ = small_setup
+    windows = truth_windows_for(dep, [ship])
+    wake = ship.wake()
+    for node in dep:
+        w = windows[node.node_id][0]
+        arrival = wake.arrival_time(node.anchor)
+        assert w.start < arrival < w.end
+
+
+def test_offline_scenario_detects(small_setup):
+    dep, ship, synth = small_setup
+    res = run_offline_scenario(
+        dep,
+        [ship],
+        detector_config=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+        synthesis_config=synth,
+        seed=1,
+    )
+    n_reporting = sum(1 for v in res.merged_by_node.values() if v)
+    assert n_reporting >= 6  # most of the 12 nodes see the wake
+
+
+def test_offline_no_ship_few_reports(small_setup):
+    dep, _, synth = small_setup
+    res = run_offline_scenario(
+        dep,
+        [],
+        detector_config=NodeDetectorConfig(m=3.0, af_threshold=0.6),
+        synthesis_config=synth,
+        seed=1,
+    )
+    assert len(res.all_merged) < 5
+
+
+def test_offline_sequential_clusters(small_setup):
+    dep, ship, synth = small_setup
+    res = run_offline_scenario(
+        dep,
+        [ship],
+        detector_config=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+        cluster_config=TemporaryClusterConfig(min_rows=3),
+        synthesis_config=synth,
+        seed=2,
+    )
+    assert len(res.cluster_outcomes) >= 1
+    # Every outcome is a valid (event, report) pair.
+    for event, report in res.cluster_outcomes:
+        assert isinstance(event, ClusterEvent)
+        if event != ClusterEvent.CANCELLED_TOO_FEW:
+            assert report is not None
+
+
+def test_offline_keep_traces_flag(small_setup):
+    dep, ship, synth = small_setup
+    res = run_offline_scenario(
+        dep, [ship], synthesis_config=synth, seed=3, keep_traces=True
+    )
+    assert set(res.traces) == {n.node_id for n in dep}
+    res2 = run_offline_scenario(
+        dep, [ship], synthesis_config=synth, seed=3
+    )
+    assert res2.traces == {}
+
+
+def test_offline_reports_sorted(small_setup):
+    dep, ship, synth = small_setup
+    res = run_offline_scenario(
+        dep,
+        [ship],
+        detector_config=NodeDetectorConfig(m=1.5, af_threshold=0.4),
+        synthesis_config=synth,
+        seed=4,
+    )
+    onsets = [r.onset_time for r in res.all_reports]
+    assert onsets == sorted(onsets)
+
+
+def test_network_scenario_runs_to_completion(small_setup):
+    dep, ship, synth = small_setup
+    res = run_network_scenario(
+        dep,
+        [ship],
+        sid_config=SIDNodeConfig(
+            detector=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+            cluster=TemporaryClusterConfig(min_rows=3),
+        ),
+        synthesis_config=synth,
+        seed=5,
+    )
+    assert res.mac_stats["transmissions"] > 0
+    assert res.sink_frames >= 0
+
+
+def test_network_deterministic(small_setup):
+    dep1 = GridDeployment(3, 3, seed=31)
+    dep2 = GridDeployment(3, 3, seed=31)
+    ship1 = paper_ship(dep1, cross_time_s=80.0)
+    ship2 = paper_ship(dep2, cross_time_s=80.0)
+    synth = SynthesisConfig(duration_s=160.0)
+    r1 = run_network_scenario(dep1, [ship1], synthesis_config=synth, seed=9)
+    r2 = run_network_scenario(dep2, [ship2], synthesis_config=synth, seed=9)
+    assert r1.mac_stats == r2.mac_stats
+    assert r1.intrusion_detected == r2.intrusion_detected
+
+
+class TestDutyCycledRunner:
+    def test_sentinels_detect_and_wake_fleet(self, small_setup):
+        from repro.detection.dutycycle import DutyCycleConfig
+        from repro.scenario.runner import run_dutycycled_scenario
+
+        dep, ship, synth = small_setup
+        res = run_dutycycled_scenario(
+            dep,
+            [ship],
+            detector_config=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+            duty_config=DutyCycleConfig(sentinel_fraction=0.25),
+            synthesis_config=synth,
+            seed=1,
+        )
+        assert res.first_alarm_time is not None
+        reporting = sum(1 for v in res.merged_by_node.values() if v)
+        # The wake-up lets more nodes than the sentinel share detect.
+        assert reporting > len(dep) * 0.25
+
+    def test_energy_summary_exposed(self, small_setup):
+        from repro.detection.dutycycle import DutyCycleConfig
+        from repro.scenario.runner import run_dutycycled_scenario
+
+        dep, ship, synth = small_setup
+        res = run_dutycycled_scenario(
+            dep,
+            [ship],
+            duty_config=DutyCycleConfig(sentinel_fraction=0.5),
+            synthesis_config=synth,
+            seed=2,
+        )
+        summary = res.controller.energy_summary(3600.0)
+        assert summary["lifetime_gain"] > 1.5
+
+    def test_quiet_sea_mostly_asleep(self, small_setup):
+        from repro.detection.dutycycle import DutyCycleConfig
+        from repro.scenario.runner import run_dutycycled_scenario
+
+        dep, _, synth = small_setup
+        res = run_dutycycled_scenario(
+            dep,
+            [],
+            detector_config=NodeDetectorConfig(m=3.0, af_threshold=0.7),
+            duty_config=DutyCycleConfig(sentinel_fraction=0.25),
+            synthesis_config=synth,
+            seed=3,
+        )
+        frac = res.controller.active_fraction(50.0, 150.0, dt=10.0)
+        assert frac < 0.5
+
+
+class TestCoarseSentinelPath:
+    def test_coarse_rate_changes_behaviour(self, small_setup):
+        from repro.detection.dutycycle import DutyCycleConfig
+        from repro.scenario.runner import run_dutycycled_scenario
+
+        dep1 = GridDeployment(4, 3, seed=21)
+        dep2 = GridDeployment(4, 3, seed=21)
+        ship = paper_ship(dep1, cross_time_s=100.0, column_gap=1.5)
+        synth = SynthesisConfig(duration_s=200.0)
+        full = run_dutycycled_scenario(
+            dep1, [ship],
+            duty_config=DutyCycleConfig(
+                sentinel_fraction=0.25, coarse_rate_hz=None
+            ),
+            synthesis_config=synth, seed=7,
+        )
+        coarse = run_dutycycled_scenario(
+            dep2, [paper_ship(dep2, cross_time_s=100.0, column_gap=1.5)],
+            duty_config=DutyCycleConfig(
+                sentinel_fraction=0.25, coarse_rate_hz=10.0
+            ),
+            synthesis_config=synth, seed=7,
+        )
+        # Both catch the crossing...
+        assert full.first_alarm_time is not None
+        assert coarse.first_alarm_time is not None
+        # ...but the coarse variant buys more lifetime.
+        assert (
+            coarse.controller.energy_summary(86400.0)["lifetime_gain"]
+            > full.controller.energy_summary(86400.0)["lifetime_gain"]
+        )
+
+    def test_coarse_sentinels_still_detect_wake(self, small_setup):
+        from repro.detection.dutycycle import DutyCycleConfig
+        from repro.scenario.runner import run_dutycycled_scenario
+        from repro.scenario.metrics import classify_alarms
+
+        dep, ship, synth = small_setup
+        res = run_dutycycled_scenario(
+            dep, [ship],
+            detector_config=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+            duty_config=DutyCycleConfig(
+                sentinel_fraction=0.25, coarse_rate_hz=10.0
+            ),
+            synthesis_config=synth, seed=4,
+        )
+        tp = 0
+        for nid, reports in res.merged_by_node.items():
+            ca = classify_alarms(
+                reports, res.truth_windows_by_node[nid], tolerance_s=3.0
+            )
+            tp += ca.true_positives
+        assert tp >= len(dep) // 3

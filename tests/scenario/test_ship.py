@@ -1,0 +1,74 @@
+"""Tests for ship tracks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import KNOT
+from repro.errors import ConfigurationError
+from repro.scenario.ship import ShipTrack
+from repro.types import Position
+
+
+def test_speed_conversion():
+    ship = ShipTrack(Position(0, 0), 0.0, speed_knots=10.0)
+    assert ship.speed_mps == pytest.approx(10.0 * KNOT)
+
+
+def test_position_advances_along_heading():
+    ship = ShipTrack(Position(0, 0), math.pi / 2, speed_knots=10.0)
+    p = ship.position_at(10.0)
+    assert p.x == pytest.approx(0.0)
+    assert p.y == pytest.approx(10.0 * 10.0 * KNOT)
+
+
+def test_wake_matches_track():
+    ship = ShipTrack(Position(5, 5), 0.3, speed_knots=12.0, t0=2.0)
+    wake = ship.wake()
+    assert wake.origin == Position(5, 5)
+    assert wake.heading_rad == 0.3
+    assert wake.speed_mps == pytest.approx(ship.speed_mps)
+    assert wake.t0 == 2.0
+
+
+def test_travel_line_through_start():
+    ship = ShipTrack(Position(5, 5), 0.3, speed_knots=12.0)
+    line = ship.travel_line()
+    assert line.distance(Position(5, 5)) == pytest.approx(0.0)
+
+
+def test_through_point_passes_point():
+    target = Position(100.0, 50.0)
+    ship = ShipTrack.through_point(target, math.radians(70), 10.0,
+                                   approach_distance_m=200.0)
+    t_pass = ship.time_at_point(target)
+    p = ship.position_at(t_pass)
+    assert p.distance_to(target) < 1e-6
+
+
+def test_through_point_timing():
+    target = Position(0.0, 0.0)
+    ship = ShipTrack.through_point(
+        target, 0.0, 10.0, approach_distance_m=10.0 * KNOT * 60.0
+    )
+    assert ship.time_at_point(target) == pytest.approx(60.0)
+
+
+def test_wake_coefficient_override():
+    ship = ShipTrack(Position(0, 0), 0.0, 10.0, wake_coefficient=2.5)
+    wake = ship.wake()
+    assert wake.wave_height_at(Position(0.0, 27.0)) == pytest.approx(
+        2.5 * 27.0 ** (-1 / 3)
+    )
+
+
+def test_invalid_speed():
+    with pytest.raises(ConfigurationError):
+        ShipTrack(Position(0, 0), 0.0, speed_knots=0.0)
+
+
+def test_invalid_approach():
+    with pytest.raises(ConfigurationError):
+        ShipTrack.through_point(Position(0, 0), 0.0, 10.0, approach_distance_m=0.0)

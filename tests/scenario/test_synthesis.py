@@ -1,0 +1,118 @@
+"""Tests for the trace synthesis pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import ACCEL_COUNTS_PER_G
+from repro.errors import ConfigurationError
+from repro.physics.disturbance import FishBump
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.presets import paper_ship
+from repro.scenario.synthesis import (
+    SynthesisConfig,
+    build_ambient_field,
+    random_disturbances,
+    synthesize_fleet_traces,
+    synthesize_node_trace,
+    wake_trains_for_node,
+)
+
+
+@pytest.fixture
+def short_cfg():
+    return SynthesisConfig(duration_s=40.0)
+
+
+def test_trace_basic_shape(tiny_grid, short_cfg):
+    field = build_ambient_field(short_cfg, seed=1)
+    trace = synthesize_node_trace(tiny_grid.node(0), field, config=short_cfg)
+    assert len(trace) == 40 * 50
+    assert trace.rate_hz == 50.0
+
+
+def test_z_floats_near_one_g(tiny_grid, short_cfg):
+    field = build_ambient_field(short_cfg, seed=1)
+    trace = synthesize_node_trace(tiny_grid.node(0), field, config=short_cfg)
+    assert abs(trace.z.mean() - ACCEL_COUNTS_PER_G) < 120
+
+
+def test_wake_visible_in_trace(tiny_grid):
+    cfg = SynthesisConfig(duration_s=120.0)
+    ship = paper_ship(tiny_grid, cross_time_s=60.0, column_gap=0.5)
+    field = build_ambient_field(cfg, seed=2)
+    node = tiny_grid.node(0)
+    quiet = synthesize_node_trace(node, field, config=cfg)
+    with_ship = synthesize_node_trace(node, field, [ship], config=cfg)
+    arrival = ship.wake().arrival_time(node.anchor)
+    k = int(arrival * 50)
+    window = slice(max(k - 100, 0), k + 200)
+    assert (
+        np.abs(with_ship.z[window].astype(float) - ACCEL_COUNTS_PER_G).max()
+        > np.abs(quiet.z[window].astype(float) - ACCEL_COUNTS_PER_G).max()
+    )
+
+
+def test_disturbance_added(tiny_grid, short_cfg):
+    field = build_ambient_field(short_cfg, seed=3)
+    node = tiny_grid.node(0)
+    bump = FishBump(time=20.0, peak_accel=15.0)
+    plain = synthesize_node_trace(node, field, config=short_cfg)
+    bumped = synthesize_node_trace(
+        node, field, disturbances=[bump], config=short_cfg
+    )
+    k = slice(int(19.5 * 50), int(21.0 * 50))
+    assert bumped.z[k].max() > plain.z[k].max() + 200
+
+
+def test_wake_trains_use_drifted_position(tiny_grid):
+    cfg = SynthesisConfig(duration_s=120.0)
+    ship = paper_ship(tiny_grid, cross_time_s=60.0, column_gap=0.5)
+    node = tiny_grid.node(0)
+    trains = wake_trains_for_node(node, [ship], cfg)
+    assert len(trains) == 1
+    nominal = ship.wake().arrival_time(node.anchor)
+    # Mooring drift shifts the arrival slightly but boundedly (~2 m at
+    # the wedge propagation speed).
+    assert abs(trains[0].arrival_time - nominal) < 5.0
+
+
+def test_fleet_traces_cover_all_nodes(tiny_grid, short_cfg):
+    traces = synthesize_fleet_traces(tiny_grid, config=short_cfg, seed=5)
+    assert set(traces) == {0, 1, 2, 3}
+
+
+def test_fleet_shares_one_field(tiny_grid, short_cfg):
+    # Two nodes see correlated ambient motion (same sea realisation).
+    traces = synthesize_fleet_traces(tiny_grid, config=short_cfg, seed=5)
+    a = traces[0].z.astype(float)
+    b = traces[1].z.astype(float)
+    rho = np.corrcoef(a, b)[0, 1]
+    # Weak but present correlation at 25 m; independent fields would be 0.
+    assert abs(rho) < 0.95
+
+
+def test_fleet_deterministic(tiny_grid, short_cfg):
+    g1 = GridDeployment(2, 2, seed=11)
+    g2 = GridDeployment(2, 2, seed=11)
+    t1 = synthesize_fleet_traces(g1, config=short_cfg, seed=5)
+    t2 = synthesize_fleet_traces(g2, config=short_cfg, seed=5)
+    assert np.array_equal(t1[0].z, t2[0].z)
+
+
+def test_random_disturbances_rates(tiny_grid):
+    cfg = SynthesisConfig(duration_s=3600.0)
+    events = random_disturbances(
+        tiny_grid, cfg, gusts_per_node_hour=6.0, bumps_per_node_hour=4.0, seed=7
+    )
+    counts = [len(v) for v in events.values()]
+    assert sum(counts) > 10  # ~40 expected over 4 node-hours
+    assert set(events) == {0, 1, 2, 3}
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SynthesisConfig(duration_s=0.0)
+    with pytest.raises(ConfigurationError):
+        SynthesisConfig(n_wave_components=0)

@@ -1,0 +1,95 @@
+"""Tests for the LIS3L02DQ accelerometer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.errors import ConfigurationError
+from repro.sensors.accelerometer import Accelerometer, AccelerometerSpec
+
+
+@pytest.fixture
+def quiet_accel():
+    """Noise- and bias-free device for exact conversions."""
+    return Accelerometer(
+        AccelerometerSpec(noise_rms_counts=0.0, bias_rms_counts=0.0), seed=0
+    )
+
+
+def test_one_g_reads_1024_counts(quiet_accel):
+    z = quiet_accel.read_axis(np.array([GRAVITY]), 2)
+    assert z[0] == 1024
+
+
+def test_zero_reads_zero(quiet_accel):
+    assert quiet_accel.read_axis(np.array([0.0]), 0)[0] == 0
+
+
+def test_clipping_at_2g(quiet_accel):
+    big = quiet_accel.read_axis(np.array([5.0 * GRAVITY]), 2)
+    assert big[0] == quiet_accel.spec.max_counts == 2048
+    small = quiet_accel.read_axis(np.array([-5.0 * GRAVITY]), 2)
+    assert small[0] == -2048
+
+
+def test_output_is_integer(quiet_accel):
+    out = quiet_accel.read_axis(np.array([1.2345]), 1)
+    assert out.dtype == np.int64
+
+
+def test_noise_rms_close_to_spec():
+    accel = Accelerometer(
+        AccelerometerSpec(noise_rms_counts=5.0, bias_rms_counts=0.0), seed=1
+    )
+    out = accel.read_axis(np.zeros(20000), 2)
+    assert 4.0 < out.std() < 6.0
+
+
+def test_bias_frozen_per_device():
+    a = Accelerometer(AccelerometerSpec(noise_rms_counts=0.0), seed=3)
+    first = a.read_axis(np.zeros(10), 0)
+    second = a.read_axis(np.zeros(10), 0)
+    assert np.array_equal(first, second)
+
+
+def test_bias_differs_between_axes():
+    a = Accelerometer(AccelerometerSpec(noise_rms_counts=0.0, bias_rms_counts=20.0), seed=4)
+    x = a.read_axis(np.zeros(5), 0)[0]
+    y = a.read_axis(np.zeros(5), 1)[0]
+    z = a.read_axis(np.zeros(5), 2)[0]
+    assert len({int(x), int(y), int(z)}) > 1
+
+
+def test_bias_differs_between_devices():
+    spec = AccelerometerSpec(noise_rms_counts=0.0, bias_rms_counts=20.0)
+    a = Accelerometer(spec, seed=5)
+    b = Accelerometer(spec, seed=6)
+    assert not np.array_equal(a.bias_counts, b.bias_counts)
+
+
+def test_three_axis_read(quiet_accel):
+    x, y, z = quiet_accel.read(
+        np.array([0.0]), np.array([0.0]), np.array([GRAVITY])
+    )
+    assert (x[0], y[0], z[0]) == (0, 0, 1024)
+
+
+def test_invalid_axis_rejected(quiet_accel):
+    with pytest.raises(ConfigurationError):
+        quiet_accel.read_axis(np.array([0.0]), 3)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        AccelerometerSpec(range_g=0.0)
+    with pytest.raises(ConfigurationError):
+        AccelerometerSpec(counts_per_g=-1.0)
+    with pytest.raises(ConfigurationError):
+        AccelerometerSpec(noise_rms_counts=-1.0)
+
+
+def test_mps2_to_counts_linear(quiet_accel):
+    out = quiet_accel.mps2_to_counts(np.array([GRAVITY, 2 * GRAVITY]))
+    assert np.allclose(out, [1024.0, 2048.0])

@@ -1,0 +1,70 @@
+"""Tests for the ADC model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.adc import ADC
+
+
+@pytest.fixture
+def adc():
+    return ADC(bits=12, v_min=-2.0, v_max=2.0)
+
+
+def test_code_range(adc):
+    codes = adc.convert(np.linspace(-3, 3, 1000))
+    assert codes.min() == 0
+    assert codes.max() == adc.levels - 1
+
+
+def test_levels(adc):
+    assert adc.levels == 4096
+
+
+def test_lsb(adc):
+    assert adc.lsb == pytest.approx(4.0 / 4096)
+
+
+def test_clipping(adc):
+    assert adc.convert(np.array([10.0]))[0] == 4095
+    assert adc.convert(np.array([-10.0]))[0] == 0
+
+
+def test_monotonic(adc):
+    v = np.linspace(-2, 2, 500)
+    codes = adc.convert(v)
+    assert np.all(np.diff(codes) >= 0)
+
+
+def test_roundtrip_error_within_half_lsb(adc):
+    v = np.linspace(-1.9, 1.9, 777)
+    back = adc.to_volts(adc.convert(v))
+    assert np.abs(back - v).max() <= adc.lsb / 2 + 1e-12
+
+
+def test_to_volts_rejects_out_of_range(adc):
+    with pytest.raises(ConfigurationError):
+        adc.to_volts(np.array([5000]))
+
+
+def test_one_bit_adc():
+    adc = ADC(bits=1, v_min=0.0, v_max=1.0)
+    assert adc.levels == 2
+    assert adc.convert(np.array([0.2, 0.8])).tolist() == [0, 1]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(bits=0, v_min=0, v_max=1),
+        dict(bits=33, v_min=0, v_max=1),
+        dict(bits=8, v_min=1.0, v_max=1.0),
+        dict(bits=8, v_min=2.0, v_max=1.0),
+    ],
+)
+def test_invalid_construction(kwargs):
+    with pytest.raises(ConfigurationError):
+        ADC(**kwargs)

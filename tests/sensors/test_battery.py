@@ -1,0 +1,102 @@
+"""Tests for the battery/energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.battery import Battery, EnergyCosts
+
+
+def test_initial_state():
+    b = Battery(100.0)
+    assert b.remaining_j == 100.0
+    assert not b.depleted
+    assert b.fraction_remaining == 1.0
+
+
+def test_draw_reduces_energy():
+    b = Battery(100.0)
+    assert b.draw(30.0, "tx")
+    assert b.remaining_j == pytest.approx(70.0)
+
+
+def test_breakdown_by_category():
+    b = Battery(100.0)
+    b.draw(10.0, "tx")
+    b.draw(5.0, "tx")
+    b.draw(2.0, "cpu")
+    assert b.breakdown() == {"tx": 15.0, "cpu": 2.0}
+
+
+def test_depletion_blocks_further_draws():
+    b = Battery(10.0)
+    assert b.draw(15.0, "tx")  # final draw may overshoot
+    assert b.depleted
+    assert not b.draw(1.0, "tx")
+
+
+def test_fraction_never_negative():
+    b = Battery(10.0)
+    b.draw(100.0, "tx")
+    assert b.fraction_remaining == 0.0
+
+
+def test_negative_draw_rejected():
+    with pytest.raises(ConfigurationError):
+        Battery(10.0).draw(-1.0, "tx")
+
+
+def test_convenience_wrappers_use_costs():
+    costs = EnergyCosts(
+        sample_j=1.0,
+        cpu_j_per_s=2.0,
+        tx_j_per_byte=3.0,
+        rx_j_per_byte=4.0,
+        idle_j_per_s=5.0,
+        sleep_j_per_s=6.0,
+    )
+    b = Battery(1000.0, costs)
+    b.draw_samples(2)
+    b.draw_cpu(1.0)
+    b.draw_tx(1)
+    b.draw_rx(1)
+    b.draw_idle(1.0)
+    b.draw_sleep(1.0)
+    assert b.breakdown() == {
+        "sampling": 2.0,
+        "cpu": 2.0,
+        "tx": 3.0,
+        "rx": 4.0,
+        "idle": 5.0,
+        "sleep": 6.0,
+    }
+
+
+def test_radio_dominates_default_budget():
+    # The Sec. IV-A design argument: transmitting raw samples is far
+    # costlier than transmitting extracted features.
+    costs = EnergyCosts()
+    # One second of raw 3-axis samples at 50 Hz, 6 bytes each:
+    raw_bytes = 50 * 6
+    raw_cost = raw_bytes * costs.tx_j_per_byte
+    # One NodeReport-sized feature message instead:
+    feature_cost = 24 * costs.tx_j_per_byte
+    assert raw_cost > 10 * feature_cost
+
+
+def test_default_lifetime_scale():
+    # 10 kJ at idle (~3 mW) lasts on the order of a month.
+    b = Battery()
+    days = b.remaining_j / (b.costs.idle_j_per_s * 86400.0)
+    assert 10 < days < 100
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigurationError):
+        Battery(0.0)
+
+
+def test_invalid_costs():
+    with pytest.raises(ConfigurationError):
+        EnergyCosts(sample_j=-1.0)

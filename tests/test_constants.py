@@ -1,0 +1,59 @@
+"""Sanity checks tying the constants to the paper's stated values."""
+
+from __future__ import annotations
+
+import math
+
+from repro import constants
+
+
+def test_kelvin_cusp_angle_is_19_deg_28_min():
+    assert math.isclose(constants.KELVIN_CUSP_ANGLE_DEG, 19.0 + 28.0 / 60.0)
+    assert math.isclose(
+        constants.KELVIN_CUSP_ANGLE_RAD,
+        math.radians(constants.KELVIN_CUSP_ANGLE_DEG),
+    )
+
+
+def test_crest_angle_is_54_deg_44_min():
+    assert math.isclose(constants.KELVIN_CREST_ANGLE_DEG, 54.0 + 44.0 / 60.0)
+
+
+def test_cusp_and_crest_angles_are_complementary_to_theory():
+    # Kelvin theory: crest angle + wave propagation angle = 90 deg, and
+    # the paper's eq.-2 deep-water Theta is 35.27 deg ~ 90 - 54.73.
+    assert math.isclose(
+        90.0 - constants.KELVIN_CREST_ANGLE_DEG, 35.27, abs_tol=0.01
+    )
+
+
+def test_speed_geometry_uses_20_degrees():
+    assert constants.SPEED_GEOMETRY_THETA_DEG == 20.0
+
+
+def test_accelerometer_spec_matches_lis3l02dq():
+    assert constants.ACCEL_RANGE_G == 2.0
+    assert constants.ACCEL_RESOLUTION_BITS == 12
+    # 4096 codes over 4 g -> 1024 counts per g.
+    assert constants.ACCEL_COUNTS_PER_G == 1024.0
+
+
+def test_sampling_and_stft_parameters():
+    assert constants.SAMPLE_RATE_HZ == 50.0
+    assert constants.STFT_SEGMENT_SAMPLES == 2048
+    # 2048 samples at 50 Hz = the paper's 40.96 s segment.
+    assert constants.STFT_SEGMENT_SAMPLES / constants.SAMPLE_RATE_HZ == 40.96
+
+
+def test_paper_thresholds():
+    assert constants.BETA_1 == 0.99
+    assert constants.BETA_2 == 0.99
+    assert constants.CORRELATION_DECISION_THRESHOLD == 0.4
+    assert constants.NODE_LOWPASS_CUTOFF_HZ == 1.0
+    assert constants.DEPLOYMENT_SPACING_M == 25.0
+    assert constants.TEMP_CLUSTER_HOPS == 6
+    assert constants.BUOY_DRIFT_RADIUS_M == 2.0
+
+
+def test_knot_conversion():
+    assert math.isclose(constants.KNOT, 0.514444, rel_tol=1e-6)
