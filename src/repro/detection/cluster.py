@@ -181,6 +181,15 @@ class TemporaryClusterConfig:
     min_rows: int = 4
     correlation_threshold: float = CORRELATION_DECISION_THRESHOLD
     estimate_speed: bool = True
+    #: Graceful degradation: when True and the head knows how many
+    #: members the setup flood reached (``expected_members``), a
+    #: sub-quorum cluster whose expected members fell silent (node
+    #: crashes, dead batteries, lost reports) is still evaluated on
+    #: the relaxed floors below instead of hard-failing — the fused
+    #: report is then flagged ``degraded``.
+    allow_degraded: bool = False
+    degraded_min_reports: int = 3
+    degraded_min_rows: int = 2
 
     def __post_init__(self) -> None:
         if self.hops < 1:
@@ -207,6 +216,25 @@ class TemporaryClusterConfig:
                 "correlation_threshold must be in [0, 1], got "
                 f"{self.correlation_threshold}"
             )
+        if self.degraded_min_reports < 1:
+            raise ConfigurationError(
+                "degraded_min_reports must be >= 1, got "
+                f"{self.degraded_min_reports}"
+            )
+        if self.degraded_min_rows < 1:
+            raise ConfigurationError(
+                f"degraded_min_rows must be >= 1, got {self.degraded_min_rows}"
+            )
+
+    @property
+    def effective_degraded_min_reports(self) -> int:
+        """The degraded report floor, never above the healthy floor."""
+        return min(self.degraded_min_reports, self.min_reports)
+
+    @property
+    def effective_degraded_min_rows(self) -> int:
+        """The degraded row floor, never above the healthy floor."""
+        return min(self.degraded_min_rows, self.min_rows)
 
 
 class TemporaryCluster:
@@ -227,6 +255,10 @@ class TemporaryCluster:
         self.opened_at = initiator.onset_time
         self._reports: dict[int, NodeReport] = {initiator.node_id: initiator}
         self._closed = False
+        #: How many members the setup flood reached (set by the network
+        #: layer when known); lets :meth:`evaluate` distinguish "nobody
+        #: else sensed the event" from "expected members fell silent".
+        self.expected_members: Optional[int] = None
 
     @property
     def deadline(self) -> float:
@@ -319,8 +351,30 @@ class TemporaryCluster:
         """
         self._closed = True
         reports = self.reports
+        min_rows = self.config.min_rows
+        degraded = False
         if len(reports) < self.config.min_reports:
-            return ClusterEvent.CANCELLED_TOO_FEW, None
+            # Graceful degradation (paper Sec. IV-C's fault-absorption
+            # claim, made explicit): when the setup flood reached more
+            # members than reported back, the silence is evidence of
+            # faults — crashed nodes, depleted batteries, lost frames —
+            # not of a quiet sea.  Re-weight the quorum to what is
+            # actually alive instead of hard-failing, and flag the
+            # fused report so the sink can discount it.
+            silent = (
+                self.expected_members is not None
+                and len(self._reports) < self.expected_members + 1
+            )
+            if (
+                self.config.allow_degraded
+                and silent
+                and len(reports)
+                >= self.config.effective_degraded_min_reports
+            ):
+                degraded = True
+                min_rows = self.config.effective_degraded_min_rows
+            else:
+                return ClusterEvent.CANCELLED_TOO_FEW, None
         if track is None:
             try:
                 track = TravelLine.fit_from_reports(reports)
@@ -330,7 +384,7 @@ class TemporaryCluster:
         cnt, cne, c = cluster_correlation(rows)
         populated_rows = sum(1 for row in rows if row)
         confirmable = (
-            populated_rows >= self.config.min_rows
+            populated_rows >= min_rows
             and c >= self.config.correlation_threshold
         )
         speed: Optional[SpeedEstimate] = None
@@ -346,6 +400,7 @@ class TemporaryCluster:
             speed_estimate_mps=speed.speed_mean_mps if speed else None,
             heading_alpha_deg=speed.alpha_deg if speed else None,
             moving_direction=speed.direction if speed else 0,
+            degraded=degraded,
         )
         if confirmable:
             return ClusterEvent.CONFIRMED, report

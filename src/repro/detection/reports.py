@@ -80,6 +80,11 @@ class ClusterReport:
     heading_alpha_deg: Optional[float] = None
     #: Row-sweep direction of the intruder (+1 / -1), 0 when unknown.
     moving_direction: int = 0
+    #: True when the fusing cluster evaluated on a degraded quorum
+    #: (expected members silent past the deadline — crashed nodes,
+    #: dead batteries, lost reports).  Degraded confirmations still
+    #: travel to the sink but carry reduced confidence.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         for name in ("time_correlation", "energy_correlation", "correlation"):
@@ -107,6 +112,10 @@ class SinkDecision:
     cluster_reports: tuple[ClusterReport, ...] = field(default_factory=tuple)
     speed_estimate_mps: Optional[float] = None
     heading_alpha_deg: Optional[float] = None
+    #: True when the decision rests (at least partly) on cluster
+    #: reports fused from degraded quorums; external users should
+    #: treat such confirmations with reduced confidence.
+    degraded: bool = False
 
     @property
     def n_clusters(self) -> int:

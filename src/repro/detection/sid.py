@@ -181,6 +181,16 @@ class SIDNode:
     # ------------------------------------------------------------------
     # Peer messages
     # ------------------------------------------------------------------
+    def note_expected_members(self, n: int) -> None:
+        """Record how many members the setup flood reached.
+
+        Called by the network layer after it fans the SetUpTempCluster
+        announcement out; lets the cluster's deadline evaluation tell
+        silent-but-expected members (faults) apart from a quiet sea.
+        """
+        if self._cluster is not None and not self._cluster.closed:
+            self._cluster.expected_members = n
+
     def on_cluster_setup(self, head_id: int, t: float) -> None:
         """A neighbour announced a temporary cluster; join as member.
 

@@ -98,6 +98,7 @@ class Sink:
             for r in confirmed
             if r.heading_alpha_deg is not None
         ]
+        basis = confirmed if confirmed else group
         decision = SinkDecision(
             intrusion=bool(confirmed),
             time=max(r.detection_time for r in group),
@@ -108,6 +109,7 @@ class Sink:
             heading_alpha_deg=(
                 sum(headings) / len(headings) if headings else None
             ),
+            degraded=any(r.degraded for r in basis),
         )
         self._decisions.append(decision)
         return decision

@@ -1,0 +1,43 @@
+"""Fault injection and graceful degradation across the SID stack.
+
+See :mod:`repro.faults.plan` for the declarative fault model,
+:mod:`repro.faults.injector` for compilation against a run, and the
+layer decorators in :mod:`repro.faults.sensor` /
+:mod:`repro.faults.network`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.network import DeliveryFaults, FaultyChannel, GilbertElliott
+from repro.faults.plan import (
+    BatteryDrain,
+    BurstLoss,
+    ClockSyncFailure,
+    FaultPlan,
+    FaultStats,
+    LinkBlackout,
+    MessageDelay,
+    MessageDuplication,
+    NodeCrash,
+    SensorFault,
+    SensorFaultKind,
+)
+from repro.faults.sensor import FaultyAccelerometer
+
+__all__ = [
+    "BatteryDrain",
+    "BurstLoss",
+    "ClockSyncFailure",
+    "DeliveryFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyAccelerometer",
+    "FaultyChannel",
+    "GilbertElliott",
+    "LinkBlackout",
+    "MessageDelay",
+    "MessageDuplication",
+    "NodeCrash",
+    "SensorFault",
+    "SensorFaultKind",
+]

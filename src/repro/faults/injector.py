@@ -1,0 +1,160 @@
+"""Compiling a :class:`FaultPlan` against one scenario run.
+
+The injector owns the plan's entropy (independent derived streams per
+fault family), builds the layer-specific decorators, and schedules the
+event-driven faults — node crash/reboot and battery drain — on the
+scenario's discrete-event loop.  Counters accumulate in one
+:class:`repro.faults.plan.FaultStats` shared by every hook, so the
+scenario result can report exact injected-fault counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.network import DeliveryFaults, FaultyChannel
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.faults.sensor import FaultyAccelerometer
+from repro.network.channel import Channel
+from repro.rng import derive_rng
+from repro.sensors.accelerometer import Accelerometer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.nodeproc import SensorNetwork
+
+
+class FaultInjector:
+    """One plan, compiled and armed for one run.
+
+    Construction is cheap and side-effect free; nothing touches the
+    scenario until :meth:`wrap_channel` / :meth:`sensor_wrapper` /
+    :meth:`install` are invoked.  An inactive plan short-circuits every
+    method, so the unfaulted path stays byte-identical to a run without
+    an injector at all.
+    """
+
+    def __init__(self, plan: FaultPlan | None) -> None:
+        self.plan = plan if plan is not None else FaultPlan.none()
+        self.stats = FaultStats()
+        self._channel_wrapper: Optional[FaultyChannel] = None
+        # Independent entropy per fault family: replaying a plan against
+        # a different scenario keeps the same fault realisation.
+        root = self.plan.seed
+
+        def stream(name: str):
+            return derive_rng(root, f"fault-{name}")
+
+        self._stream = stream
+
+    @property
+    def active(self) -> bool:
+        """True when the plan injects anything."""
+        return self.plan.active
+
+    # ------------------------------------------------------------------
+    # Layer decorators
+    # ------------------------------------------------------------------
+    def sensor_wrapper(
+        self,
+        node_id: int,
+        inner: Accelerometer,
+        t0: float,
+        rate_hz: float,
+    ) -> Optional[FaultyAccelerometer]:
+        """The faulted accelerometer for ``node_id``, or None if healthy."""
+        faults = self.plan.sensor_faults_for(node_id)
+        if not faults:
+            return None
+        return FaultyAccelerometer(
+            inner,
+            faults,
+            t0=t0,
+            rate_hz=rate_hz,
+            rng=self._stream(f"sensor-{node_id}"),
+            stats=self.stats,
+        )
+
+    def wrap_channel(self, channel: Channel) -> Channel:
+        """Layer burst loss / blackouts over ``channel`` when planned."""
+        if not self.plan.has_channel_faults:
+            return channel
+        self._channel_wrapper = FaultyChannel(
+            channel,
+            burst=self.plan.burst_loss,
+            blackouts=self.plan.link_blackouts,
+            rng=self._stream("burst"),
+            stats=self.stats,
+        )
+        return self._channel_wrapper
+
+    def delivery_faults(self) -> Optional[DeliveryFaults]:
+        """The duplication/delay hook, or None when not planned."""
+        if not self.plan.has_delivery_faults:
+            return None
+        return DeliveryFaults(
+            duplication=self.plan.duplication,
+            delay=self.plan.delay,
+            rng=self._stream("delivery"),
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Event-driven faults
+    # ------------------------------------------------------------------
+    def install(self, network: "SensorNetwork") -> None:
+        """Arm the event-driven faults on a built network.
+
+        Binds the channel decorator to the simulation clock, attaches
+        the delivery hook, and schedules every crash/reboot and battery
+        drain the plan declares.  A no-op for inactive plans.
+        """
+        if not self.active:
+            return
+        if self._channel_wrapper is not None:
+            self._channel_wrapper.bind_clock(lambda: network.sim.now)
+        hook = self.delivery_faults()
+        if hook is not None:
+            network.delivery_faults = hook
+        for crash in self.plan.node_crashes:
+            network.sim.schedule_at(
+                max(crash.at_s, network.sim.now), self._crash, network, crash
+            )
+        for drain in self.plan.battery_drains:
+            network.sim.schedule_at(
+                max(drain.at_s, network.sim.now), self._drain, network, drain
+            )
+
+    def _crash(self, network: "SensorNetwork", crash) -> None:
+        node = network.nodes.get(crash.node_id)
+        if node is None or not node.alive:
+            return
+        node.crash()
+        self.stats.node_crashes += 1
+        if crash.reboot_after_s is not None:
+            network.sim.schedule(
+                crash.reboot_after_s, self._reboot, network, crash.node_id
+            )
+
+    def _reboot(self, network: "SensorNetwork", node_id: int) -> None:
+        node = network.nodes.get(node_id)
+        if node is None or node.alive:
+            return
+        node.reboot()
+        self.stats.node_reboots += 1
+
+    def _drain(self, network: "SensorNetwork", drain) -> None:
+        node = network.nodes.get(drain.node_id)
+        if node is None or node.battery is None:
+            return
+        node.battery.accelerate_drain(drain.factor)
+        self.stats.battery_drains += 1
+
+    # ------------------------------------------------------------------
+    # Clock-sync fault hook
+    # ------------------------------------------------------------------
+    def sync_suppressed(self, node_id: int, t: float) -> bool:
+        """Consult (and count) resync suppression for one node."""
+        if self.plan.sync_suppressed(node_id, t):
+            self.stats.resyncs_suppressed += 1
+            return True
+        return False

@@ -11,7 +11,8 @@ back into SID callbacks.  :class:`SinkNode` feeds the detection-layer
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import networkx as nx
 
@@ -41,6 +42,56 @@ from repro.network.simulator import Simulator
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.sensors.battery import Battery
 from repro.types import Position
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.network import DeliveryFaults
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Report retransmission with exponential backoff (degradation aid).
+
+    When a member/cluster report's unicast exhausts its MAC retries,
+    the originating node re-queues it after ``base_backoff_s * 2**k``
+    seconds, up to ``max_attempts`` extra tries — but never past the
+    ``staleness_s`` cutoff, after which the report would miss its
+    collection/merge window anyway and only add congestion.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    staleness_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s <= 0:
+            raise ConfigurationError(
+                f"base_backoff_s must be positive, got {self.base_backoff_s}"
+            )
+        if self.staleness_s <= 0:
+            raise ConfigurationError(
+                f"staleness_s must be positive, got {self.staleness_s}"
+            )
+
+
+class ResilienceStats:
+    """Counters for the graceful-degradation machinery."""
+
+    def __init__(self) -> None:
+        self.report_retransmits = 0
+        self.stale_reports_dropped = 0
+        self.frames_dropped_dead_node = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of the counters."""
+        return {
+            "report_retransmits": self.report_retransmits,
+            "stale_reports_dropped": self.stale_reports_dropped,
+            "frames_dropped_dead_node": self.frames_dropped_dead_node,
+        }
 
 
 class SinkNode:
@@ -73,15 +124,31 @@ class NetworkNode:
         self.battery = battery
         self.node_id = sid.node_id
         self.position = sid.position
+        #: False while the node is crashed (fault injection); a dead
+        #: node neither samples, ticks, transmits nor receives.
+        self.alive = True
         #: Flood dedup: (head_id, onset_time) pairs already forwarded.
         self._seen_setups: set[tuple[int, float]] = set()
         self._seen_cancels: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Fault-injection lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node down (crash fault)."""
+        self.alive = False
+
+    def reboot(self) -> None:
+        """Bring a crashed node back (warm restart, state retained)."""
+        self.alive = True
 
     # ------------------------------------------------------------------
     # Detection-side entry points
     # ------------------------------------------------------------------
     def feed_window(self, a_window, t0: float) -> None:
         """Process one preprocessed sample window at its end time."""
+        if not self.alive:
+            return
         if self.battery is not None and self.battery.depleted:
             return
         if self.battery is not None:
@@ -92,6 +159,8 @@ class NetworkNode:
 
     def tick(self) -> None:
         """Periodic timer (cluster deadline evaluation)."""
+        if not self.alive:
+            return
         self._dispatch(self.sid.on_timer(self.network.sim.now))
 
     # ------------------------------------------------------------------
@@ -107,9 +176,16 @@ class NetworkNode:
                 )
                 self._seen_setups.add((self.node_id, action.initiator.onset_time))
                 self.network.broadcast(self.node_id, msg)
+                # Tell the head how many members the flood can reach so
+                # the deadline evaluation can re-weight its quorum when
+                # expected members fall silent (graceful degradation).
+                self.sid.note_expected_members(
+                    self.network.expected_cluster_members(
+                        self.node_id, action.hops
+                    )
+                )
             elif isinstance(action, MemberReportAction):
-                self.network.unicast(
-                    self.node_id,
+                self._send_reliable(
                     action.head_id,
                     MemberReportMsg(
                         head_id=action.head_id, report=action.report
@@ -120,12 +196,11 @@ class NetworkNode:
                 # head -> sink.
                 static_head = self.network.static_head_of(self.node_id)
                 if static_head == self.node_id:
-                    self.network.send_to_sink(
-                        self.node_id, ClusterReportMsg(report=action.report)
+                    self._send_sink_reliable(
+                        ClusterReportMsg(report=action.report)
                     )
                 else:
-                    self.network.unicast(
-                        self.node_id,
+                    self._send_reliable(
                         static_head,
                         ClusterReportMsg(
                             report=action.report,
@@ -138,10 +213,93 @@ class NetworkNode:
                 self.network.broadcast(self.node_id, msg)
 
     # ------------------------------------------------------------------
+    # Reliable report delivery (graceful degradation)
+    # ------------------------------------------------------------------
+    def _send_reliable(
+        self,
+        dst: int,
+        payload,
+        attempt: int = 0,
+        first_try_at: Optional[float] = None,
+    ) -> None:
+        """Unicast a report, re-queueing on MAC-level drop when enabled.
+
+        With no :class:`RetransmitPolicy` installed this is a plain
+        unicast — identical behaviour (and RNG consumption) to the
+        pre-resilience transport.
+        """
+        policy = self.network.retransmit
+        if policy is None:
+            self.network.unicast(self.node_id, dst, payload)
+            return
+        first_at = (
+            self.network.sim.now if first_try_at is None else first_try_at
+        )
+
+        def on_failed(_frame) -> None:
+            self._retry_reliable(dst, payload, attempt, first_at)
+
+        self.network.unicast(
+            self.node_id, dst, payload, on_failed=on_failed
+        )
+
+    def _send_sink_reliable(
+        self,
+        payload,
+        attempt: int = 0,
+        first_try_at: Optional[float] = None,
+    ) -> None:
+        """Sink-bound variant of :meth:`_send_reliable`."""
+        policy = self.network.retransmit
+        if policy is None:
+            self.network.send_to_sink(self.node_id, payload)
+            return
+        first_at = (
+            self.network.sim.now if first_try_at is None else first_try_at
+        )
+
+        def on_failed(_frame) -> None:
+            self._retry_reliable(None, payload, attempt, first_at)
+
+        self.network.send_to_sink(
+            self.node_id, payload, on_failed=on_failed
+        )
+
+    def _retry_reliable(
+        self, dst: Optional[int], payload, attempt: int, first_try_at: float
+    ) -> None:
+        policy = self.network.retransmit
+        stats = self.network.resilience
+        if policy is None or not self.alive:
+            return
+        now = self.network.sim.now
+        if (
+            attempt + 1 > policy.max_attempts
+            or now - first_try_at >= policy.staleness_s
+        ):
+            # Past the staleness cutoff the report would miss its
+            # collection/merge window anyway; give up cleanly.
+            stats.stale_reports_dropped += 1
+            return
+        stats.report_retransmits += 1
+        delay = policy.base_backoff_s * (2.0**attempt)
+        if dst is None:
+            self.network.sim.schedule(
+                delay, self._send_sink_reliable, payload, attempt + 1, first_try_at
+            )
+        else:
+            self.network.sim.schedule(
+                delay, self._send_reliable, dst, payload, attempt + 1, first_try_at
+            )
+
+    # ------------------------------------------------------------------
     # Frame reception
     # ------------------------------------------------------------------
     def on_frame(self, frame: Frame, now: float) -> None:
         """Handle one frame delivered to this node's radio."""
+        if not self.alive:
+            self.network.resilience.frames_dropped_dead_node += 1
+            return
         if self.battery is not None:
             if not self.battery.draw_rx(frame.size_bytes):
                 return
@@ -202,6 +360,7 @@ class SensorNetwork:
         sink: Sink,
         channel: Optional[Channel] = None,
         mac_config: Optional[MacConfig] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
         seed: RandomState = None,
     ) -> None:
         if sink_id in positions:
@@ -226,6 +385,12 @@ class SensorNetwork:
         self.sink_node = SinkNode(sink_id, sink_position, sink)
         self.nodes: dict[int, NetworkNode] = {}
         self.lost_to_partition = 0
+        #: Optional report-retransmission policy (graceful degradation);
+        #: None preserves the fire-and-forget transport exactly.
+        self.retransmit = retransmit
+        self.resilience = ResilienceStats()
+        #: Optional duplication/delay hook installed by a FaultInjector.
+        self.delivery_faults: Optional["DeliveryFaults"] = None
         # Static geographic cells (Sec. IV-C.1); cell size of three
         # grid spacings keeps a handful of cells over the paper grid.
         sensor_positions = {
@@ -274,6 +439,11 @@ class SensorNetwork:
         """The static cluster head responsible for ``node_id``."""
         return self._static_head.get(node_id, node_id)
 
+    def expected_cluster_members(self, head_id: int, hops: int) -> int:
+        """Sensor nodes a ``hops``-hop setup flood from ``head_id`` reaches."""
+        reachable = self.routing.nodes_within_hops(head_id, hops)
+        return sum(1 for n in reachable if n != self.sink_node.node_id)
+
     # ------------------------------------------------------------------
     # Transport primitives
     # ------------------------------------------------------------------
@@ -281,6 +451,14 @@ class SensorNetwork:
         return sorted(self.graph.neighbors(node_id))
 
     def _deliver(self, dst: int, frame: Frame) -> None:
+        if self.delivery_faults is not None:
+            self.delivery_faults.deliver(
+                self.sim, dst, frame, self._deliver_direct
+            )
+        else:
+            self._deliver_direct(dst, frame)
+
+    def _deliver_direct(self, dst: int, frame: Frame) -> None:
         if dst == self.sink_node.node_id:
             self.sink_node.on_frame(frame, self.sim.now)
         elif dst in self.nodes:
@@ -316,8 +494,12 @@ class SensorNetwork:
             on_delivered=fan_out,
         )
 
-    def unicast(self, src: int, dst: int, payload) -> None:
-        """One-hop-at-a-time unicast along the shortest path to ``dst``."""
+    def unicast(self, src: int, dst: int, payload, on_failed=None) -> None:
+        """One-hop-at-a-time unicast along the shortest path to ``dst``.
+
+        ``on_failed`` (optional) fires when the first hop exhausts its
+        MAC retries — the hook the report-retransmission policy uses.
+        """
         if dst not in self.graph or src not in self.graph:
             self.lost_to_partition += 1
             return
@@ -338,9 +520,10 @@ class SensorNetwork:
             self.positions[next_hop],
             self._neighbours(src),
             on_delivered=lambda f: self._deliver(next_hop, f),
+            on_failed=on_failed,
         )
 
-    def send_to_sink(self, src: int, payload) -> None:
+    def send_to_sink(self, src: int, payload, on_failed=None) -> None:
         """Forward toward the sink via the routing tree."""
         next_hop = self.routing.next_hop(src)
         if next_hop is None:
@@ -356,4 +539,5 @@ class SensorNetwork:
             self.positions[next_hop],
             self._neighbours(src),
             on_delivered=lambda f: self._deliver(next_hop, f),
+            on_failed=on_failed,
         )

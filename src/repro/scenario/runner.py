@@ -14,7 +14,8 @@ benchmarks stress.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.detection.cluster import (
@@ -33,12 +34,15 @@ from repro.detection.reports import ClusterReport, NodeReport, SinkDecision
 from repro.detection.sid import SIDNode, SIDNodeConfig
 from repro.detection.sink import Sink
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.network.channel import Channel, ChannelConfig
 from repro.network.mac import MacConfig
-from repro.network.nodeproc import SensorNetwork
+from repro.network.nodeproc import RetransmitPolicy, SensorNetwork
 from repro.physics.disturbance import Disturbance
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.scenario.deployment import GridDeployment
+from repro.sensors.accelerometer import Accelerometer
 from repro.scenario.ship import ShipTrack
 from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
 from repro.types import AccelTrace, TimeWindow
@@ -185,17 +189,48 @@ def run_offline_scenario(
 # ----------------------------------------------------------------------
 @dataclass
 class NetworkScenarioResult:
-    """Outcome of a full discrete-event run."""
+    """Outcome of a full discrete-event run.
+
+    ``fault_stats`` merges the injection counters (what the
+    :class:`~repro.faults.plan.FaultPlan` actually did) with the
+    resilience counters (what the degradation machinery absorbed);
+    it is empty for unfaulted runs.
+    """
 
     decisions: tuple[SinkDecision, ...]
     mac_stats: dict[str, int]
     lost_to_partition: int
     sink_frames: int
+    fault_stats: dict[str, int] = field(default_factory=dict)
+    degraded_decisions: int = 0
+    degraded_cluster_reports: int = 0
+    resyncs_performed: int = 0
+    clock_rms_error_s: float = 0.0
 
     @property
     def intrusion_detected(self) -> bool:
         """True when any sink decision confirmed an intrusion."""
         return any(d.intrusion for d in self.decisions)
+
+    #: Keys in ``fault_stats`` that count degradation work absorbed,
+    #: not faults injected.
+    RESILIENCE_KEYS = frozenset(
+        {
+            "report_retransmits",
+            "stale_reports_dropped",
+            "frames_dropped_dead_node",
+        }
+    )
+    #: Volume metrics (per-sample tallies), not discrete fault events.
+    VOLUME_KEYS = frozenset({"sensor_samples_faulted"})
+
+    @property
+    def faults_injected(self) -> int:
+        """Total discrete fault events injected across all layers."""
+        skip = self.RESILIENCE_KEYS | self.VOLUME_KEYS
+        return sum(
+            v for k, v in self.fault_stats.items() if k not in skip
+        )
 
 
 def run_network_scenario(
@@ -207,6 +242,9 @@ def run_network_scenario(
     channel_config: ChannelConfig | None = None,
     mac_config: MacConfig | None = None,
     track_hypothesis: TravelLine | None = None,
+    faults: FaultPlan | None = None,
+    retransmit: RetransmitPolicy | None = None,
+    resync_interval_s: float | None = 120.0,
     seed: RandomState = None,
 ) -> NetworkScenarioResult:
     """Run one scenario through the full network stack.
@@ -214,18 +252,57 @@ def run_network_scenario(
     Every node preprocesses its own synthesised trace and feeds
     Delta-t windows into its SID state machine at the window end times;
     protocol traffic rides the lossy simulated radio.
+
+    ``faults`` injects the plan's sensor / node / network pathologies
+    into the run; an absent or empty plan leaves every code path — and
+    every random stream — exactly as the unfaulted runner draws them.
+    An active plan also arms the degradation machinery: degraded-quorum
+    cluster evaluation and report retransmission (the latter can be
+    tuned or forced on independently via ``retransmit``).
+
+    ``resync_interval_s`` schedules a periodic fleet-wide time-sync
+    beacon (None disables it); crashed nodes miss their beacons and a
+    plan's :class:`~repro.faults.plan.ClockSyncFailure` suppresses
+    them per node, letting drift accumulate unbounded.
     """
     base = make_rng(seed)
     root = int(base.integers(2**31))
     cfg = sid_config if sid_config is not None else SIDNodeConfig()
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
-    traces = synthesize_fleet_traces(
-        deployment,
-        ships,
-        synth,
-        disturbances_by_node=disturbances_by_node,
-        seed=derive_rng(root, "synthesis"),
-    )
+    injector = FaultInjector(faults)
+    if injector.active:
+        # Degraded-quorum evaluation rides along with fault injection
+        # unless the caller already configured it explicitly.
+        if not cfg.cluster.allow_degraded:
+            cfg = replace(
+                cfg, cluster=replace(cfg.cluster, allow_degraded=True)
+            )
+        if retransmit is None:
+            retransmit = RetransmitPolicy()
+    # Sensor faults intercept the digitisation step: each afflicted
+    # mote's accelerometer is decorated for the duration of synthesis.
+    wrapped: list[tuple[object, Accelerometer]] = []
+    for node in deployment:
+        wrapper = injector.sensor_wrapper(
+            node.node_id,
+            node.mote.accelerometer,
+            t0=synth.t0,
+            rate_hz=node.mote.config.sample_rate_hz,
+        )
+        if wrapper is not None:
+            wrapped.append((node.mote, node.mote.accelerometer))
+            node.mote.accelerometer = wrapper
+    try:
+        traces = synthesize_fleet_traces(
+            deployment,
+            ships,
+            synth,
+            disturbances_by_node=disturbances_by_node,
+            seed=derive_rng(root, "synthesis"),
+        )
+    finally:
+        for mote, healthy in wrapped:
+            mote.accelerometer = healthy
     sink = Sink()
     channel = Channel(channel_config, seed=derive_rng(root, "channel"))
     network = SensorNetwork(
@@ -233,10 +310,12 @@ def run_network_scenario(
         sink_id=deployment.sink_id,
         sink_position=deployment.sink_position,
         sink=sink,
-        channel=channel,
+        channel=injector.wrap_channel(channel),
         mac_config=mac_config,
+        retransmit=retransmit,
         seed=derive_rng(root, "network"),
     )
+    injector.install(network)
     # Unlike the controlled offline experiments, the online system has
     # no ground-truth sailing line: unless the caller supplies a
     # hypothesis explicitly, each temporary-cluster head fits the line
@@ -268,13 +347,64 @@ def run_network_scenario(
             network.sim.schedule_at(t, proc.tick)
             t += cfg.detector.window_s
 
+    # Periodic fleet-wide time-sync beacons (Sec. IV-C assumes the
+    # network keeps "synchronized time ... within certain precision").
+    # Crashed nodes and plan-suppressed nodes skip theirs, so their
+    # clocks drift unbounded until a reboot or the next beacon heard.
+    resyncs_performed = [0]
+    sync_horizon = (
+        synth.t0 + synth.duration_s + 2 * cfg.cluster.collection_timeout_s
+    )
+
+    def _resync(node) -> None:
+        proc = network.nodes.get(node.node_id)
+        if proc is not None and not proc.alive:
+            return
+        if injector.sync_suppressed(node.node_id, network.sim.now):
+            return
+        node.mote.synchronize_clock(network.sim.now)
+        resyncs_performed[0] += 1
+
+    if resync_interval_s is not None:
+        if resync_interval_s <= 0:
+            raise ConfigurationError(
+                f"resync_interval_s must be positive, got {resync_interval_s}"
+            )
+        t = synth.t0 + resync_interval_s
+        while t < sync_horizon:
+            for node in deployment:
+                network.sim.schedule_at(t, _resync, node)
+            t += resync_interval_s
+
     network.sim.run()
     sink.flush()
+    errors = [
+        node.mote.clock.error_at(sync_horizon) for node in deployment
+    ]
+    clock_rms = (
+        math.sqrt(sum(e * e for e in errors) / len(errors))
+        if errors
+        else 0.0
+    )
+    fault_stats: dict[str, int] = {}
+    if injector.active:
+        fault_stats = {
+            **injector.stats.as_dict(),
+            **network.resilience.as_dict(),
+        }
     return NetworkScenarioResult(
         decisions=sink.decisions,
         mac_stats=network.mac.stats.as_dict(),
         lost_to_partition=network.lost_to_partition,
         sink_frames=network.sink_node.received_frames,
+        fault_stats=fault_stats,
+        degraded_decisions=sum(1 for d in sink.decisions if d.degraded),
+        degraded_cluster_reports=sum(
+            sum(1 for r in d.cluster_reports if r.degraded)
+            for d in sink.decisions
+        ),
+        resyncs_performed=resyncs_performed[0],
+        clock_rms_error_s=clock_rms,
     )
 
 

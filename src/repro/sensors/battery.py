@@ -56,6 +56,7 @@ class Battery:
         self.costs = costs if costs is not None else EnergyCosts()
         self._remaining = capacity_j
         self._by_category: dict[str, float] = {}
+        self._drain_multiplier = 1.0
 
     @property
     def remaining_j(self) -> float:
@@ -72,20 +73,41 @@ class Battery:
         """Remaining energy as a fraction of capacity."""
         return max(self._remaining, 0.0) / self.capacity_j
 
+    @property
+    def drain_multiplier(self) -> float:
+        """Factor applied to every draw (> 1 models a degrading cell)."""
+        return self._drain_multiplier
+
     def breakdown(self) -> dict[str, float]:
         """Energy spent so far, by category [J]."""
         return dict(self._by_category)
 
+    def accelerate_drain(self, factor: float) -> None:
+        """Multiply all future draws by ``factor`` (fault injection).
+
+        Models cell degradation — seawater ingress, cold-induced
+        capacity loss — as an efficiency factor rather than an
+        instantaneous capacity cut.  Factors compose multiplicatively.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"drain factor must be positive, got {factor}"
+            )
+        self._drain_multiplier *= factor
+
     def draw(self, joules: float, category: str) -> bool:
         """Consume ``joules``; returns False when already depleted.
 
-        The final draw may take the store below zero (the node dies
-        mid-operation), after which every further draw fails.
+        Negative draws are rejected — a battery cannot be recharged by
+        accounting.  The final draw may take the store below zero (the
+        node dies mid-operation), after which every further draw fails.
         """
         if joules < 0:
             raise ConfigurationError(f"cannot draw negative energy: {joules}")
         if self.depleted:
             return False
+        if self._drain_multiplier != 1.0:
+            joules *= self._drain_multiplier
         self._remaining -= joules
         self._by_category[category] = self._by_category.get(category, 0.0) + joules
         return True

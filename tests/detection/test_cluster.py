@@ -244,3 +244,143 @@ class TestTemporaryCluster:
             TemporaryClusterConfig(min_rows=0)
         with pytest.raises(ConfigurationError):
             TemporaryClusterConfig(correlation_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(degraded_min_reports=0)
+        with pytest.raises(ConfigurationError):
+            TemporaryClusterConfig(degraded_min_rows=0)
+
+    def test_degraded_floors_clamped_to_healthy_floors(self):
+        cfg = TemporaryClusterConfig(
+            min_reports=2,
+            min_rows=1,
+            degraded_min_reports=3,
+            degraded_min_rows=2,
+        )
+        assert cfg.effective_degraded_min_reports == 2
+        assert cfg.effective_degraded_min_rows == 1
+
+
+class TestDeadlineExpiry:
+    def _config(self, **kw):
+        defaults = dict(
+            collection_timeout_s=120.0,
+            quiet_timeout_s=30.0,
+            min_reports=5,
+            min_rows=4,
+        )
+        defaults.update(kw)
+        return TemporaryClusterConfig(**defaults)
+
+    def test_report_exactly_at_deadline_accepted(self):
+        cluster = TemporaryCluster(
+            _report(0, 0, 0, 100.0, 5.0), self._config()
+        )
+        # Lone initiator: deadline is the quiet timeout at t = 130.
+        assert cluster.add_report(_report(1, 25, 0, 130.0, 5.0))
+        # The member extended the deadline to the collection window.
+        assert cluster.deadline == pytest.approx(220.0)
+        assert cluster.add_report(_report(2, 50, 0, 220.0, 5.0))
+        assert not cluster.add_report(_report(3, 75, 0, 220.01, 5.0))
+
+    def test_lone_initiator_expiry_cancels(self):
+        cluster = TemporaryCluster(
+            _report(0, 0, 0, 100.0, 5.0), self._config()
+        )
+        event, report = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+        assert report is None
+        assert cluster.closed
+
+    def test_expiry_with_subquorum_cancels_without_degradation(self):
+        reports = _sweep_reports()[:3]
+        cluster = TemporaryCluster(reports[0], self._config())
+        for r in reports[1:]:
+            cluster.add_report(r)
+        event, _ = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+
+
+class TestDegradedQuorum:
+    """Graceful degradation when expected members fall silent."""
+
+    def _config(self, **kw):
+        defaults = dict(
+            collection_timeout_s=120.0,
+            quiet_timeout_s=30.0,
+            min_reports=5,
+            min_rows=4,
+            allow_degraded=True,
+            degraded_min_reports=3,
+            degraded_min_rows=2,
+        )
+        defaults.update(kw)
+        return TemporaryClusterConfig(**defaults)
+
+    def _subquorum_cluster(self, cfg):
+        # Four reports over three rows: below min_reports=5 and
+        # min_rows=4, above the degraded floors.
+        all_reports = _sweep_reports()
+        picked = [
+            r
+            for r in all_reports
+            if (r.row, r.column) in {(0, 1), (0, 2), (1, 1), (2, 1)}
+        ]
+        cluster = TemporaryCluster(picked[0], cfg)
+        for r in picked[1:]:
+            assert cluster.add_report(r)
+        return cluster
+
+    def test_silent_members_unlock_degraded_confirmation(self):
+        cluster = self._subquorum_cluster(self._config())
+        cluster.expected_members = 8  # the flood reached 8, 3 reported
+        track = TravelLine(Position(35.0, 0.0), heading_rad=math.pi / 2)
+        event, report = cluster.evaluate(track)
+        assert event == ClusterEvent.CONFIRMED
+        assert report is not None
+        assert report.degraded
+
+    def test_no_silent_members_still_cancels(self):
+        # Everyone the flood reached did report: the sub-quorum means a
+        # quiet sea, not faults — no degraded evaluation.
+        cluster = self._subquorum_cluster(self._config())
+        cluster.expected_members = 3  # 3 members + initiator = all in
+        event, report = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+        assert report is None
+
+    def test_unknown_expected_members_still_cancels(self):
+        cluster = self._subquorum_cluster(self._config())
+        assert cluster.expected_members is None
+        event, _ = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+
+    def test_disabled_degradation_still_cancels(self):
+        cluster = self._subquorum_cluster(
+            self._config(allow_degraded=False)
+        )
+        cluster.expected_members = 8
+        event, _ = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+
+    def test_below_degraded_floor_still_cancels(self):
+        cfg = self._config()
+        all_reports = _sweep_reports()
+        picked = [
+            r for r in all_reports if (r.row, r.column) in {(0, 1), (1, 1)}
+        ]
+        cluster = TemporaryCluster(picked[0], cfg)
+        cluster.add_report(picked[1])
+        cluster.expected_members = 8
+        event, _ = cluster.evaluate()
+        assert event == ClusterEvent.CANCELLED_TOO_FEW
+
+    def test_full_quorum_confirmation_not_flagged_degraded(self):
+        reports = _sweep_reports()
+        cluster = TemporaryCluster(reports[0], self._config())
+        for r in reports[1:]:
+            cluster.add_report(r)
+        cluster.expected_members = 11
+        track = TravelLine(Position(35.0, 0.0), heading_rad=math.pi / 2)
+        event, report = cluster.evaluate(track)
+        assert event == ClusterEvent.CONFIRMED
+        assert not report.degraded

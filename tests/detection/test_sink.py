@@ -85,6 +85,82 @@ def test_flush_empty_returns_none():
     assert Sink().flush() is None
 
 
+def test_flush_is_idempotent_on_empty_sink():
+    sink = Sink()
+    assert sink.flush() is None
+    assert sink.flush() is None
+    assert sink.decisions == ()
+
+
+def test_flush_clears_pending_and_second_flush_is_none():
+    sink = Sink()
+    sink.receive(_cluster_report(100.0))
+    assert sink.flush() is not None
+    assert sink.pending_reports == ()
+    assert sink.flush() is None
+    assert len(sink.decisions) == 1
+
+
+def test_degraded_report_flags_decision():
+    sink = Sink()
+    degraded = _cluster_report(100.0, c=0.9)
+    sink.receive(
+        ClusterReport(
+            head_id=degraded.head_id,
+            reports=degraded.reports,
+            time_correlation=degraded.time_correlation,
+            energy_correlation=degraded.energy_correlation,
+            correlation=degraded.correlation,
+            detection_time=degraded.detection_time,
+            degraded=True,
+        )
+    )
+    decision = sink.flush()
+    assert decision.intrusion
+    assert decision.degraded
+
+
+def test_healthy_confirmation_not_tainted_by_rejected_degraded():
+    # A degraded low-correlation report in the same group must not mark
+    # a decision that was confirmed by a healthy report.
+    sink = Sink()
+    weak = _cluster_report(100.0, c=0.1)
+    sink.receive(
+        ClusterReport(
+            head_id=weak.head_id,
+            reports=weak.reports,
+            time_correlation=weak.time_correlation,
+            energy_correlation=weak.energy_correlation,
+            correlation=weak.correlation,
+            detection_time=weak.detection_time,
+            degraded=True,
+        )
+    )
+    sink.receive(_cluster_report(110.0, c=0.9))
+    decision = sink.flush()
+    assert decision.intrusion
+    assert not decision.degraded
+
+
+def test_all_rejected_group_inherits_degraded_flag():
+    sink = Sink()
+    weak = _cluster_report(100.0, c=0.1)
+    sink.receive(
+        ClusterReport(
+            head_id=weak.head_id,
+            reports=weak.reports,
+            time_correlation=weak.time_correlation,
+            energy_correlation=weak.energy_correlation,
+            correlation=weak.correlation,
+            detection_time=weak.detection_time,
+            degraded=True,
+        )
+    )
+    decision = sink.flush()
+    assert not decision.intrusion
+    assert decision.degraded
+
+
 def test_decisions_accumulate():
     sink = Sink()
     sink.receive(_cluster_report(100.0))

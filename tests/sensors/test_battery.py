@@ -47,6 +47,60 @@ def test_negative_draw_rejected():
         Battery(10.0).draw(-1.0, "tx")
 
 
+def test_negative_draw_rejected_through_wrappers():
+    b = Battery(10.0)
+    with pytest.raises(ConfigurationError):
+        b.draw_samples(-1)
+    with pytest.raises(ConfigurationError):
+        b.draw_cpu(-0.5)
+    with pytest.raises(ConfigurationError):
+        b.draw_tx(-8)
+    # Nothing was billed by the rejected draws.
+    assert b.remaining_j == 10.0
+
+
+def test_negative_draw_rejected_even_when_depleted():
+    b = Battery(1.0)
+    b.draw(5.0, "tx")
+    assert b.depleted
+    with pytest.raises(ConfigurationError):
+        b.draw(-1.0, "tx")
+
+
+class TestAcceleratedDrain:
+    def test_multiplier_scales_draws(self):
+        b = Battery(100.0)
+        b.accelerate_drain(4.0)
+        b.draw(1.0, "tx")
+        assert b.remaining_j == pytest.approx(96.0)
+        assert b.breakdown()["tx"] == pytest.approx(4.0)
+
+    def test_factors_compose_multiplicatively(self):
+        b = Battery(100.0)
+        b.accelerate_drain(2.0)
+        b.accelerate_drain(3.0)
+        assert b.drain_multiplier == pytest.approx(6.0)
+
+    def test_default_multiplier_is_identity(self):
+        b = Battery(100.0)
+        assert b.drain_multiplier == 1.0
+        b.draw(1.0, "tx")
+        assert b.remaining_j == pytest.approx(99.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(100.0).accelerate_drain(0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(100.0).accelerate_drain(-2.0)
+
+    def test_drained_battery_still_blocks_when_depleted(self):
+        b = Battery(1.0)
+        b.accelerate_drain(10.0)
+        assert b.draw(0.2, "tx")  # costs 2.0 -> dies mid-operation
+        assert b.depleted
+        assert not b.draw(0.001, "tx")
+
+
 def test_convenience_wrappers_use_costs():
     costs = EnergyCosts(
         sample_j=1.0,
