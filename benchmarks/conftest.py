@@ -3,11 +3,21 @@
 Every benchmark regenerates one paper table/figure: heavy Monte-Carlo
 work, so each runs exactly once per session (``rounds=1``) and prints
 the rows/series the paper reports alongside the timing.
+
+The session also drops ``BENCH_throughput.json`` at the rootdir: one
+median wall-clock per benchmark that ran under the timing clock, so
+throughput regressions in the hot paths (wavefield, fleet synthesis,
+detector, CWT) are diffable across commits.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+_MEDIANS: dict[str, float] = {}
 
 
 @pytest.fixture
@@ -20,3 +30,38 @@ def once(benchmark):
         )
 
     return run
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_runtest_teardown(item):
+    fixture = getattr(item, "funcargs", {}).get("benchmark")
+    if fixture is None:
+        return
+    # Under --benchmark-disable the fixture runs the target without
+    # collecting stats; record only real timed runs.
+    stats = getattr(fixture, "stats", None)
+    if stats is None:
+        return
+    median = getattr(getattr(stats, "stats", stats), "median", None)
+    if isinstance(median, (int, float)):
+        _MEDIANS[item.name] = float(median)
+
+
+def pytest_sessionfinish(session):
+    if not _MEDIANS:
+        return
+    out = Path(str(session.config.rootdir)) / "BENCH_throughput.json"
+    # Merge so a partial run (one bench file) refreshes its own entries
+    # without dropping the rest of the trajectory.
+    medians: dict[str, float] = {}
+    try:
+        medians = dict(json.loads(out.read_text())["median_seconds"])
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    medians.update(_MEDIANS)
+    out.write_text(
+        json.dumps(
+            {"median_seconds": dict(sorted(medians.items()))}, indent=2
+        )
+        + "\n"
+    )

@@ -18,6 +18,7 @@ from repro.detection.node_detector import NodeDetectorConfig
 from repro.detection.sid import SIDNodeConfig
 from repro.faults.plan import BurstLoss, FaultPlan
 from repro.network.channel import ChannelConfig
+from repro.parallel import SweepConfig, SweepRunner
 from repro.scenario.presets import paper_scenario
 from repro.scenario.runner import run_network_scenario
 
@@ -62,6 +63,22 @@ def _run_one(level: float, seed: int, with_ship: bool):
 
 
 def _run_sweep():
+    # Every (level, seed, with_ship) cell is an independent seeded run,
+    # so the whole matrix rides the sweep runner; $REPRO_SWEEP_WORKERS
+    # parallelises it with bit-identical aggregates.
+    runner = SweepRunner(SweepConfig.from_env())
+    cells = [
+        {"level": level, "seed": seed, "with_ship": ws}
+        for level in FAULT_LEVELS
+        for seed in SEEDS
+        for ws in (True, False)
+    ]
+    outcomes = dict(
+        zip(
+            ((c["level"], c["seed"], c["with_ship"]) for c in cells),
+            runner.map(_run_one, cells),
+        )
+    )
     records = []
     for level in FAULT_LEVELS:
         detected = 0
@@ -72,7 +89,7 @@ def _run_sweep():
         false_alarms = 0
         transmissions = 0
         for seed in SEEDS:
-            plan, res = _run_one(level, seed, with_ship=True)
+            plan, res = outcomes[(level, seed, True)]
             detected += int(res.intrusion_detected)
             degraded += res.degraded_decisions
             injected += res.faults_injected
@@ -80,7 +97,7 @@ def _run_sweep():
             planned_crashes += len(plan.node_crashes) if plan else 0
             retransmits += res.fault_stats.get("report_retransmits", 0)
             transmissions += res.mac_stats["transmissions"]
-            _, quiet = _run_one(level, seed, with_ship=False)
+            _, quiet = outcomes[(level, seed, False)]
             false_alarms += sum(1 for d in quiet.decisions if d.intrusion)
         records.append(
             {

@@ -11,14 +11,20 @@ import numpy as np
 
 from repro.analysis.experiments import run_fig11_detection_ratio
 from repro.analysis.tables import format_matrix
+from repro.parallel import SweepConfig, SweepRunner
 
 M_VALUES = (1.0, 2.0, 3.0)
 AF_VALUES = (0.4, 0.6, 0.8)
 
 
 def test_bench_fig11_detection_ratio(once):
+    # The (M, af, seed) grid fans out through the sweep runner; set
+    # $REPRO_SWEEP_WORKERS to parallelise on multi-core machines —
+    # results are bit-identical either way.
+    runner = SweepRunner(SweepConfig.from_env())
     points = once(
-        run_fig11_detection_ratio, M_VALUES, AF_VALUES, (1, 2)
+        run_fig11_detection_ratio, M_VALUES, AF_VALUES, (1, 2),
+        runner=runner,
     )
     ratios = {(p.m, p.af): p.ratio for p in points}
     matrix = [[ratios[(m, af)] for af in AF_VALUES] for m in M_VALUES]

@@ -1,0 +1,103 @@
+"""Fleet synthesis throughput — batched vs per-node ambient evaluation.
+
+The batched path shares one pair of (components x samples) trig
+matrices across the whole fleet via the angle-sum identity, reducing
+each node's ambient contribution to two BLAS contractions.  On the
+64-node / 400 s workload the ambient kernel must be at least 3x faster
+than evaluating :meth:`AmbientWaveField.vertical_acceleration` node by
+node (measured ~25x; the floor leaves room for BLAS/machine variance),
+and the end-to-end fleet path must stay bit-identical to per-node
+synthesis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constants import SAMPLE_RATE_HZ
+from repro.physics.spectrum import SeaState, sea_state_spectrum
+from repro.physics.wavefield import AmbientWaveField
+from repro.rng import derive_rng, make_rng
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.synthesis import (
+    SynthesisConfig,
+    build_ambient_field,
+    synthesize_fleet_traces,
+    synthesize_node_trace,
+)
+
+ROWS = COLUMNS = 8
+DURATION_S = 400.0
+SEED = 13
+DEPLOYMENT_SEED = 7
+
+
+def _batched():
+    dep = GridDeployment(ROWS, COLUMNS, spacing_m=25.0, seed=DEPLOYMENT_SEED)
+    cfg = SynthesisConfig(duration_s=DURATION_S)
+    return synthesize_fleet_traces(dep, config=cfg, seed=SEED)
+
+
+def _per_node():
+    dep = GridDeployment(ROWS, COLUMNS, spacing_m=25.0, seed=DEPLOYMENT_SEED)
+    cfg = SynthesisConfig(duration_s=DURATION_S)
+    base = make_rng(SEED)
+    root = int(base.integers(2**31))
+    field = build_ambient_field(cfg, seed=derive_rng(root, "ambient"))
+    return {
+        node.node_id: synthesize_node_trace(node, field, config=cfg)
+        for node in dep
+    }
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_bench_fleet_synthesis(once):
+    fleet = once(_batched)
+
+    # Bit-identical digitised counts on every axis of every node.
+    reference = _per_node()
+    assert len(fleet) == ROWS * COLUMNS
+    assert all(
+        np.array_equal(fleet[nid].z, reference[nid].z)
+        and np.array_equal(fleet[nid].x, reference[nid].x)
+        and np.array_equal(fleet[nid].y, reference[nid].y)
+        for nid in reference
+    )
+
+    # Kernel-level speedup on the same workload: the shared-trig batch
+    # against the per-node loop over the identical ambient field.
+    field = AmbientWaveField(
+        sea_state_spectrum(SeaState.CALM), n_components=96, seed=1
+    )
+    positions = [node.anchor for node in iter(_grid())]
+    t = np.arange(0.0, DURATION_S, 1.0 / SAMPLE_RATE_HZ)
+    t_batched = _best_of(
+        lambda: field.vertical_acceleration_batch(positions, t)
+    )
+    t_loop = _best_of(
+        lambda: [field.vertical_acceleration(p, t) for p in positions]
+    )
+    speedup = t_loop / t_batched
+    print()
+    print(
+        f"ambient kernel ({len(positions)} nodes, {DURATION_S:.0f} s): "
+        f"batched {t_batched * 1e3:.0f} ms, per-node "
+        f"{t_loop * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def _grid() -> GridDeployment:
+    return GridDeployment(
+        ROWS, COLUMNS, spacing_m=25.0, seed=DEPLOYMENT_SEED
+    )

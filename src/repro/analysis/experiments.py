@@ -309,12 +309,68 @@ class Fig11Point:
         return self.true_positives / total
 
 
+def fig11_cell(
+    m: float,
+    af: float,
+    seed: int,
+    seed_offset: int = 0,
+    eval_half_window_s: float = 60.0,
+) -> tuple[int, int]:
+    """One Fig. 11 trial: ``(true_positives, false_positives)``.
+
+    Module-level (and fully determined by its arguments) so sweeps can
+    dispatch it through :class:`~repro.parallel.SweepRunner` workers.
+    """
+    dep = paper_deployment(seed=seed + seed_offset)
+    # Out-and-back testing runs, as in the paper's trials.
+    outbound = paper_ship(dep, cross_time_s=140.0)
+    inbound = paper_ship(
+        dep,
+        alpha_deg=110.0,
+        cross_time_s=280.0,
+        column_gap=2.5,
+    )
+    ships = [outbound, inbound]
+    synth = SynthesisConfig(duration_s=400.0)
+    nuisances = _heavy_nuisances(
+        dep, synth, seed=seed + seed_offset + 7919
+    )
+    res = run_offline_scenario(
+        dep,
+        ships,
+        detector_config=NodeDetectorConfig(m=m, af_threshold=af),
+        synthesis_config=synth,
+        disturbances_by_node=nuisances,
+        seed=(seed + seed_offset) * 100,
+    )
+    cross_times = [s.time_at_point(dep.center()) for s in ships]
+    tp = fp = 0
+    for nid, reps in res.merged_by_node.items():
+        near = [
+            r
+            for r in reps
+            if any(
+                abs(r.onset_time - ct) < eval_half_window_s
+                for ct in cross_times
+            )
+        ]
+        ca = classify_alarms(
+            near,
+            res.truth_windows_by_node[nid],
+            tolerance_s=3.0,
+        )
+        tp += ca.true_positives
+        fp += ca.false_positives
+    return tp, fp
+
+
 def run_fig11_detection_ratio(
     m_values: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0),
     af_values: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
     seeds: Sequence[int] = (1, 2, 3),
     eval_half_window_s: float = 60.0,
     seed_offset: int = 0,
+    runner: "SweepRunner | None" = None,
 ) -> list[Fig11Point]:
     """Reproduce Fig. 11: detection ratio vs anomaly frequency and M.
 
@@ -323,57 +379,50 @@ def run_fig11_detection_ratio(
     window around the pass are classified true/false against the
     wake-model ground truth.  Expected shape: ratio increases with af
     and with M; M = 2 at af = 0.6 exceeds 70 %.
+
+    Every (M, af, seed) cell is independent, so the grid is dispatched
+    through ``runner`` (default: a serial
+    :class:`~repro.parallel.SweepRunner`) — results are bit-identical
+    for any worker count.
     """
-    points: list[Fig11Point] = []
-    for m in m_values:
-        for af in af_values:
-            tp = fp = 0
-            for seed in seeds:
-                dep = paper_deployment(seed=seed + seed_offset)
-                # Out-and-back testing runs, as in the paper's trials.
-                outbound = paper_ship(dep, cross_time_s=140.0)
-                inbound = paper_ship(
-                    dep,
-                    alpha_deg=110.0,
-                    cross_time_s=280.0,
-                    column_gap=2.5,
-                )
-                ships = [outbound, inbound]
-                synth = SynthesisConfig(duration_s=400.0)
-                nuisances = _heavy_nuisances(
-                    dep, synth, seed=seed + seed_offset + 7919
-                )
-                res = run_offline_scenario(
-                    dep,
-                    ships,
-                    detector_config=NodeDetectorConfig(m=m, af_threshold=af),
-                    synthesis_config=synth,
-                    disturbances_by_node=nuisances,
-                    seed=(seed + seed_offset) * 100,
-                )
-                cross_times = [
-                    s.time_at_point(dep.center()) for s in ships
-                ]
-                for nid, reps in res.merged_by_node.items():
-                    near = [
-                        r
-                        for r in reps
-                        if any(
-                            abs(r.onset_time - ct) < eval_half_window_s
-                            for ct in cross_times
-                        )
-                    ]
-                    ca = classify_alarms(
-                        near,
-                        res.truth_windows_by_node[nid],
-                        tolerance_s=3.0,
-                    )
-                    tp += ca.true_positives
-                    fp += ca.false_positives
-            points.append(
-                Fig11Point(m=m, af=af, true_positives=tp, false_positives=fp)
-            )
-    return points
+    from repro.parallel import SweepRunner
+
+    if runner is None:
+        runner = SweepRunner()
+    combos = [
+        (m, af, seed)
+        for m in m_values
+        for af in af_values
+        for seed in seeds
+    ]
+    cells = runner.map(
+        fig11_cell,
+        [
+            {
+                "m": float(m),
+                "af": float(af),
+                "seed": int(seed),
+                "seed_offset": int(seed_offset),
+                "eval_half_window_s": float(eval_half_window_s),
+            }
+            for m, af, seed in combos
+        ],
+    )
+    totals: dict[tuple[float, float], list[int]] = {}
+    for (m, af, _), (tp, fp) in zip(combos, cells):
+        agg = totals.setdefault((m, af), [0, 0])
+        agg[0] += tp
+        agg[1] += fp
+    return [
+        Fig11Point(
+            m=m,
+            af=af,
+            true_positives=totals[(m, af)][0],
+            false_positives=totals[(m, af)][1],
+        )
+        for m in m_values
+        for af in af_values
+    ]
 
 
 # ----------------------------------------------------------------------

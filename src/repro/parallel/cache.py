@@ -1,0 +1,154 @@
+"""Content-addressed result cache for sweep tasks.
+
+A sweep task is ``fn(**params)`` with everything that influences the
+result — scenario configs, fault plans, seeds — inside ``params``.  The
+cache key is therefore a stable hash of the *semantic content* of the
+call: the function's qualified name plus a canonical recursive
+serialisation of the parameters.  Python's builtin ``hash`` is
+per-process salted and ``pickle`` bytes are not canonical across
+versions, so the serialisation below is explicit: dataclasses flatten
+to (class name, sorted fields), mappings sort by key, numpy arrays
+contribute dtype/shape/bytes, floats hash via their IEEE hex form.
+
+Values are stored pickled, one file per key, written atomically
+(temp file + ``os.replace``) so a crashed or concurrent writer can
+never leave a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _canonical_parts(value: Any) -> Iterator[bytes]:
+    """Yield a canonical byte stream uniquely describing ``value``.
+
+    Every branch emits a type tag before its payload so distinct types
+    with equal reprs (``1`` vs ``1.0`` vs ``True``) cannot collide.
+    """
+    if value is None:
+        yield b"N;"
+    elif isinstance(value, bool):
+        yield b"B" + (b"1" if value else b"0") + b";"
+    elif isinstance(value, int):
+        yield b"I" + str(value).encode() + b";"
+    elif isinstance(value, float):
+        if math.isnan(value):
+            yield b"Fnan;"
+        else:
+            yield b"F" + value.hex().encode() + b";"
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        yield b"S" + str(len(raw)).encode() + b":" + raw + b";"
+    elif isinstance(value, bytes):
+        yield b"Y" + str(len(value)).encode() + b":" + value + b";"
+    elif isinstance(value, enum.Enum):
+        yield b"E" + type(value).__name__.encode() + b":"
+        yield from _canonical_parts(value.value)
+        yield b";"
+    elif isinstance(value, np.ndarray):
+        yield b"A" + str(value.dtype).encode() + b":"
+        yield str(value.shape).encode() + b":"
+        yield np.ascontiguousarray(value).tobytes()
+        yield b";"
+    elif isinstance(value, np.generic):
+        yield from _canonical_parts(value.item())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        yield b"D" + type(value).__name__.encode() + b"{"
+        for f in dataclasses.fields(value):
+            yield f.name.encode() + b"="
+            yield from _canonical_parts(getattr(value, f.name))
+        yield b"};"
+    elif isinstance(value, Mapping):
+        yield b"M{"
+        for key in sorted(value, key=repr):
+            yield from _canonical_parts(key)
+            yield b"->"
+            yield from _canonical_parts(value[key])
+        yield b"};"
+    elif isinstance(value, (list, tuple)):
+        yield b"L["
+        for item in value:
+            yield from _canonical_parts(item)
+        yield b"];"
+    elif isinstance(value, (set, frozenset)):
+        yield b"Z["
+        for item in sorted(value, key=repr):
+            yield from _canonical_parts(item)
+        yield b"];"
+    elif isinstance(value, Path):
+        yield from _canonical_parts(str(value))
+    else:
+        raise ConfigurationError(
+            f"cannot build a stable cache key from {type(value).__name__!r}"
+            " — pass seeds/configs/dataclasses/arrays, not live objects"
+        )
+
+
+def stable_task_key(fn: Callable, params: Mapping[str, Any]) -> str:
+    """Hex digest uniquely identifying the call ``fn(**params)``."""
+    h = hashlib.sha256()
+    h.update(f"{fn.__module__}.{fn.__qualname__}".encode())
+    h.update(b"(")
+    for part in _canonical_parts(dict(params)):
+        h.update(part)
+    h.update(b")")
+    return h.hexdigest()
+
+
+class SweepCache:
+    """One-file-per-task pickle store under ``root``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)`` for ``key``; unreadable entries are misses."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value``, atomically replacing any existing entry."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def keys_for_sweep(
+    fn: Callable, param_sets: Sequence[Mapping[str, Any]]
+) -> list[str]:
+    """Cache keys for a whole sweep, in task order."""
+    return [stable_task_key(fn, params) for params in param_sets]

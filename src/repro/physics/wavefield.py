@@ -53,16 +53,21 @@ def _sample_spreading_directions(
 
     Sampling uses a numerically inverted CDF on a fine grid, which is
     exact enough for synthesis and has no rejection-loop worst case.
+    The density is evaluated at bin midpoints and the cumulative sum is
+    anchored at zero, so the CDF is the exact integral of a piecewise-
+    constant density: interpolating ``u`` against it is unbiased (a CDF
+    that starts above zero would over-weight the first direction bin).
     """
     if spreading_exponent <= 0:
         # Unidirectional limit.
         return np.full(n, mean_direction_rad)
-    grid = np.linspace(-math.pi, math.pi, 2048)
-    density = np.cos(grid / 2.0) ** (2.0 * spreading_exponent)
-    cdf = np.cumsum(density)
+    edges = np.linspace(-math.pi, math.pi, 2049)
+    midpoints = 0.5 * (edges[:-1] + edges[1:])
+    density = np.cos(midpoints / 2.0) ** (2.0 * spreading_exponent)
+    cdf = np.concatenate([[0.0], np.cumsum(density)])
     cdf /= cdf[-1]
     u = rng.uniform(0.0, 1.0, size=n)
-    offsets = np.interp(u, cdf, grid)
+    offsets = np.interp(u, cdf, edges)
     return mean_direction_rad + offsets
 
 
@@ -177,6 +182,105 @@ class AmbientWaveField:
             freqs = self._omega / (2.0 * math.pi)
             weights = weights * np.asarray(response(freqs), dtype=float)
         return np.asarray(-(weights @ np.cos(ph)))
+
+    # ------------------------------------------------------------------
+    # Batched (fleet-scale) synthesis
+    # ------------------------------------------------------------------
+    #
+    # The phase of component i at position p is ``a_pi - w_i t`` with
+    # ``a_pi = k_i (x_p cos th_i + y_p sin th_i) + p_i`` independent of
+    # time.  The angle-sum identity
+    #
+    #   cos(a - w t) = cos a cos(w t) + sin a sin(w t)
+    #   sin(a - w t) = sin a cos(w t) - cos a sin(w t)
+    #
+    # lets a whole fleet share the expensive (components x samples)
+    # ``cos(w t)`` / ``sin(w t)`` matrices: each node then costs only two
+    # weight vectors and the final GEMM contracts every node at once.
+
+    def _batch_trig(self, t) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared ``cos(w t)``/``sin(w t)`` matrices, (components, len(t))."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        arg = self._omega[:, None] * t[None, :]
+        return np.cos(arg), np.sin(arg), t
+
+    def _spatial_phases(self, positions: Sequence[Position]) -> np.ndarray:
+        """Time-independent phase offsets ``a_pi``, shape (P, components)."""
+        xs = np.array([p.x for p in positions], dtype=float)
+        ys = np.array([p.y for p in positions], dtype=float)
+        kx = self._k * self._dir_cos
+        ky = self._k * self._dir_sin
+        return xs[:, None] * kx[None, :] + ys[:, None] * ky[None, :] + self._phase[None, :]
+
+    def _batch_weights(
+        self, n_positions: int, base: np.ndarray, responses
+    ) -> np.ndarray:
+        """Per-position component weights, shape (P, components)."""
+        if responses is None:
+            return np.broadcast_to(base, (n_positions, base.size))
+        freqs = self._omega / (2.0 * math.pi)
+        if callable(responses):
+            return np.broadcast_to(
+                base * np.asarray(responses(freqs), dtype=float),
+                (n_positions, base.size),
+            )
+        if len(responses) != n_positions:
+            raise ConfigurationError(
+                f"got {len(responses)} responses for {n_positions} positions"
+            )
+        out = np.empty((n_positions, base.size))
+        for i, response in enumerate(responses):
+            if response is None:
+                out[i] = base
+            else:
+                out[i] = base * np.asarray(response(freqs), dtype=float)
+        return out
+
+    def elevation_batch(self, positions: Sequence[Position], t) -> np.ndarray:
+        """Surface elevation [m] at every position; shape (P, len(t))."""
+        cos_wt, sin_wt, _ = self._batch_trig(t)
+        a = self._spatial_phases(positions)
+        w = self._batch_weights(len(positions), self._amp, None)
+        return (w * np.cos(a)) @ cos_wt + (w * np.sin(a)) @ sin_wt
+
+    def vertical_acceleration_batch(
+        self, positions: Sequence[Position], t, responses=None
+    ) -> np.ndarray:
+        """Vertical acceleration [m/s^2] at every position; (P, len(t)).
+
+        Numerically equivalent to calling :meth:`vertical_acceleration`
+        per position (to trig-identity rounding), but the trig matrices
+        are computed once for the whole fleet.  ``responses`` is either
+        one frequency-response callable shared by every position, or a
+        sequence with one callable (or ``None``) per position.
+        """
+        cos_wt, sin_wt, _ = self._batch_trig(t)
+        a = self._spatial_phases(positions)
+        w = self._batch_weights(
+            len(positions), self._amp * self._omega**2, responses
+        )
+        return -((w * np.cos(a)) @ cos_wt + (w * np.sin(a)) @ sin_wt)
+
+    def horizontal_acceleration_batch(
+        self, positions: Sequence[Position], t
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Horizontal acceleration components at every position.
+
+        Returns ``(ax, ay)`` each of shape (P, len(t)); the batched
+        counterpart of :meth:`horizontal_acceleration`.
+        """
+        cos_wt, sin_wt, _ = self._batch_trig(t)
+        a = self._spatial_phases(positions)
+        weights = self._amp * self._omega**2
+        cos_a = np.cos(a)
+        sin_a = np.sin(a)
+        wx_c = (weights * self._dir_cos) * sin_a
+        wx_s = (weights * self._dir_cos) * cos_a
+        wy_c = (weights * self._dir_sin) * sin_a
+        wy_s = (weights * self._dir_sin) * cos_a
+        ax = wx_c @ cos_wt - wx_s @ sin_wt
+        ay = wy_c @ cos_wt - wy_s @ sin_wt
+        return ax, ay
 
     def horizontal_acceleration(
         self, position: Position, t

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.physics.disturbance import Disturbance, render_disturbances
+from repro.physics.kelvin import KelvinWake
 from repro.physics.spectrum import SeaState, sea_state_spectrum
 from repro.physics.wake_train import WakeTrain
 from repro.physics.wavefield import AmbientWaveField
@@ -71,16 +72,23 @@ def wake_trains_for_node(
     node: DeployedNode,
     ships: Sequence[ShipTrack],
     config: SynthesisConfig,
+    wakes: Sequence[KelvinWake] | None = None,
 ) -> list[WakeTrain]:
     """The wake packets the ships inflict on one node.
 
     Each packet is evaluated at the buoy's drifted position at the
     (anchor-based) arrival time — the position error then feeds back
     into the packet's own timing and amplitude.
+
+    ``wakes`` optionally supplies the ships' already-built
+    :class:`~repro.physics.kelvin.KelvinWake` objects (one per ship, in
+    order); the fleet path builds each wake once per scenario instead of
+    once per node.
     """
+    if wakes is None:
+        wakes = [ship.wake() for ship in ships]
     trains: list[WakeTrain] = []
-    for ship in ships:
-        wake = ship.wake()
+    for wake in wakes:
         nominal_arrival = wake.arrival_time(node.anchor)
         drifted = node.buoy.position_at(nominal_arrival)
         trains.append(
@@ -91,34 +99,61 @@ def wake_trains_for_node(
     return trains
 
 
+def _finish_node_trace(
+    node: DeployedNode,
+    t: np.ndarray,
+    az: np.ndarray,
+    trains: Sequence[WakeTrain],
+    disturbances: Iterable[Disturbance],
+    horizontal: tuple[np.ndarray, np.ndarray] | None,
+) -> AccelTrace:
+    """Compose wakes and disturbances onto an ambient row and digitise.
+
+    The buoy's mechanical heave response filters what the mote feels:
+    ambient components are weighted per frequency (already applied to
+    ``az``); wake packets and impulsive disturbances are scaled at
+    their carrier frequency.
+    """
+    for train in trains:
+        gain = float(node.buoy.heave_gain(train.carrier_frequency_hz))
+        az = az + gain * train.vertical_acceleration(t)
+    extra = render_disturbances(disturbances, t)
+    if extra.shape == t.shape:
+        az = az + extra
+    if horizontal is not None:
+        motion = node.buoy.specific_force(t, az, horizontal)
+    else:
+        motion = node.buoy.specific_force(t, az)
+    return node.mote.record(motion)
+
+
 def synthesize_node_trace(
     node: DeployedNode,
     field: AmbientWaveField,
     ships: Sequence[ShipTrack] = (),
     disturbances: Iterable[Disturbance] = (),
     config: SynthesisConfig | None = None,
+    wakes: Sequence[KelvinWake] | None = None,
 ) -> AccelTrace:
     """One node's full raw-count trace for the scenario."""
     cfg = config if config is not None else SynthesisConfig()
     t = node.mote.sample_instants(cfg.t0, cfg.duration_s)
-    # The buoy's mechanical heave response filters what the mote feels:
-    # ambient components are weighted per frequency; wake packets and
-    # impulsive disturbances are scaled at their carrier frequency.
     az = field.vertical_acceleration(
         node.anchor, t, response=node.buoy.heave_gain
     )
-    for train in wake_trains_for_node(node, ships, cfg):
-        gain = float(node.buoy.heave_gain(train.carrier_frequency_hz))
-        az = az + gain * train.vertical_acceleration(t)
-    extra = render_disturbances(disturbances, t)
-    if extra.shape == t.shape:
-        az = az + extra
-    if cfg.include_horizontal:
-        ahx, ahy = field.horizontal_acceleration(node.anchor, t)
-        motion = node.buoy.specific_force(t, az, (ahx, ahy))
-    else:
-        motion = node.buoy.specific_force(t, az)
-    return node.mote.record(motion)
+    horizontal = (
+        field.horizontal_acceleration(node.anchor, t)
+        if cfg.include_horizontal
+        else None
+    )
+    return _finish_node_trace(
+        node,
+        t,
+        az,
+        wake_trains_for_node(node, ships, cfg, wakes=wakes),
+        disturbances,
+        horizontal,
+    )
 
 
 def synthesize_fleet_traces(
@@ -128,12 +163,52 @@ def synthesize_fleet_traces(
     disturbances_by_node: dict[int, list[Disturbance]] | None = None,
     seed: RandomState = None,
 ) -> dict[int, AccelTrace]:
-    """Traces for every node of a deployment, sharing one ambient field."""
+    """Traces for every node of a deployment, sharing one ambient field.
+
+    The ambient contribution is synthesised for the whole fleet at once
+    through :meth:`AmbientWaveField.vertical_acceleration_batch`, which
+    computes the (components x samples) trig matrices once and reduces
+    each node to two BLAS contractions; each ship's Kelvin wake is built
+    once per scenario rather than once per node.  Nodes whose motes do
+    not share the fleet's sample grid fall back to the per-node path.
+    """
     cfg = config if config is not None else SynthesisConfig()
     base = make_rng(seed)
     root = int(base.integers(2**31))
     field = build_ambient_field(cfg, seed=derive_rng(root, "ambient"))
     disturbances_by_node = disturbances_by_node or {}
+    nodes = list(deployment)
+    wakes = [ship.wake() for ship in ships]
+    if not nodes:
+        return {}
+    grids = [n.mote.sample_instants(cfg.t0, cfg.duration_s) for n in nodes]
+    if len(nodes) > 1 and all(
+        np.array_equal(g, grids[0]) for g in grids[1:]
+    ):
+        t = grids[0]
+        az_all = field.vertical_acceleration_batch(
+            [n.anchor for n in nodes],
+            t,
+            responses=[n.buoy.heave_gain for n in nodes],
+        )
+        h_all = (
+            field.horizontal_acceleration_batch(
+                [n.anchor for n in nodes], t
+            )
+            if cfg.include_horizontal
+            else None
+        )
+        return {
+            node.node_id: _finish_node_trace(
+                node,
+                t,
+                az_all[i],
+                wake_trains_for_node(node, ships, cfg, wakes=wakes),
+                disturbances_by_node.get(node.node_id, []),
+                (h_all[0][i], h_all[1][i]) if h_all is not None else None,
+            )
+            for i, node in enumerate(nodes)
+        }
     return {
         node.node_id: synthesize_node_trace(
             node,
@@ -141,8 +216,9 @@ def synthesize_fleet_traces(
             ships,
             disturbances_by_node.get(node.node_id, []),
             cfg,
+            wakes=wakes,
         )
-        for node in deployment
+        for node in nodes
     }
 
 
