@@ -50,8 +50,18 @@ from repro.detection.correlation import (
     row_energy_correlation,
     row_time_correlation,
 )
-from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
-from repro.detection.preprocess import PreprocessConfig, preprocess_z_counts
+from repro.detection.fleet import FleetDetector, FleetMember, FleetStream
+from repro.detection.node_detector import (
+    NodeDetector,
+    NodeDetectorConfig,
+    window_starts,
+)
+from repro.detection.preprocess import (
+    PreprocessConfig,
+    StreamingPreprocessor,
+    preprocess_z_counts,
+    preprocess_z_counts_batch,
+)
 from repro.detection.reports import (
     ClusterReport,
     NodeReport,
@@ -76,6 +86,9 @@ __all__ = [
     "EventClass",
     "EventClassifier",
     "EventFeatures",
+    "FleetDetector",
+    "FleetMember",
+    "FleetStream",
     "IntrusionEvent",
     "IntrusionTracker",
     "ClusterEvent",
@@ -93,6 +106,7 @@ __all__ = [
     "SinkDecision",
     "SpeedEstimate",
     "StaticCluster",
+    "StreamingPreprocessor",
     "TemporaryCluster",
     "TemporaryClusterConfig",
     "anomaly_frequency",
@@ -106,7 +120,9 @@ __all__ = [
     "majority_side",
     "partition_static_clusters",
     "preprocess_z_counts",
+    "preprocess_z_counts_batch",
     "row_energy_correlation",
     "row_time_correlation",
+    "window_starts",
     "window_stats",
 ]

@@ -27,7 +27,7 @@ from repro.detection.anomaly import (
 )
 from repro.detection.preprocess import PreprocessConfig, preprocess_z_counts
 from repro.detection.reports import NodeReport
-from repro.errors import ConfigurationError, SignalLengthError
+from repro.errors import ConfigurationError, InternalError, SignalLengthError
 from repro.types import AccelTrace, Position
 
 
@@ -92,6 +92,24 @@ class NodeDetectorConfig:
         """Samples per evaluation stride (default: half a window)."""
         hop = self.hop_s if self.hop_s is not None else self.window_s / 2.0
         return max(int(round(hop * self.rate_hz)), 1)
+
+
+def window_starts(config: NodeDetectorConfig, n_samples: int) -> list[int]:
+    """Start indices of every Delta-t window over an ``n_samples`` stream.
+
+    The hop-strided walk plus, when the stride does not land exactly on
+    the end of the stream, one final right-aligned window — otherwise
+    the trailing ``< window_s`` of a trace would never be evaluated and
+    a wake arriving there would be undetectable.  Every runner and both
+    detector engines share this walk.
+    """
+    w = config.window_samples
+    if n_samples < w:
+        return []
+    starts = list(range(0, n_samples - w + 1, config.hop_samples))
+    if starts[-1] != n_samples - w:
+        starts.append(n_samples - w)
+    return starts
 
 
 class NodeDetector:
@@ -159,7 +177,11 @@ class NodeDetector:
         af = anomaly_frequency(mask)
         if af > self.config.af_threshold:
             onset = onset_index(mask)
-            assert onset is not None  # af > 0 implies at least one crossing
+            if onset is None:  # af > 0 implies at least one crossing
+                raise InternalError(
+                    "anomalous window with no crossing onset (af "
+                    f"{af} > {self.config.af_threshold} but empty mask)"
+                )
             return NodeReport(
                 node_id=self.node_id,
                 position=self.position,
@@ -181,13 +203,12 @@ class NodeDetector:
         """Walk an already-preprocessed stream window by window."""
         a = np.asarray(a, dtype=float)
         w = self.config.window_samples
-        hop = self.config.hop_samples
         if a.size < w:
             raise SignalLengthError(
                 f"need at least one window ({w} samples), got {a.size}"
             )
         reports: list[NodeReport] = []
-        for start in range(0, a.size - w + 1, hop):
+        for start in window_starts(self.config, a.size):
             seg = a[start : start + w]
             report = self.process_window(
                 seg, t0 + start / self.config.rate_hz

@@ -132,11 +132,15 @@ class SIDNode:
         self._cluster: Optional[TemporaryCluster] = None
         self._member_of: Optional[int] = None
         self._member_since: float = 0.0
+        #: Set by :meth:`on_window_outcome` when an external engine
+        #: (the fleet-vectorized precomputation) reports the baseline
+        #: seeded; the internal detector is bypassed on that path.
+        self._precomputed_init = False
 
     @property
     def state(self) -> SIDState:
         """Current node state."""
-        if not self.detector.initialized:
+        if not (self.detector.initialized or self._precomputed_init):
             return SIDState.INITIALIZING
         if self._cluster is not None and not self._cluster.closed:
             return SIDState.TEMP_CLUSTER_HEAD
@@ -159,6 +163,30 @@ class SIDNode:
         """Process one preprocessed Delta-t window (DetectIntrusion)."""
         self._expire_membership(t0)
         report = self.detector.process_window(a_window, t0)
+        return self._actions_for_report(report)
+
+    def on_window_outcome(
+        self,
+        report: Optional[NodeReport],
+        t0: float,
+        initialized: bool = True,
+    ) -> list[SIDAction]:
+        """DetectIntrusion fed a precomputed window outcome.
+
+        The fleet-vectorized engine runs eqs. 4-8 for the whole
+        deployment ahead of the discrete-event run; the per-window
+        result (a report or None, plus whether the baseline had seeded
+        by that window) replays through the same cluster-protocol
+        branches :meth:`on_samples` takes.
+        """
+        self._expire_membership(t0)
+        if initialized:
+            self._precomputed_init = True
+        return self._actions_for_report(report)
+
+    def _actions_for_report(
+        self, report: Optional[NodeReport]
+    ) -> list[SIDAction]:
         if report is None:
             return []
         if self.state == SIDState.TEMP_CLUSTER_HEAD:

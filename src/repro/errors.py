@@ -27,5 +27,12 @@ class ProtocolError(SIDError):
     """A network protocol message violated the expected state machine."""
 
 
+class InternalError(SIDError):
+    """An internal invariant was violated (always a library bug).
+
+    Raised instead of ``assert`` so the checks survive ``python -O``.
+    """
+
+
 class EstimationError(SIDError):
     """A quantity (e.g. ship speed) could not be estimated from the data."""

@@ -157,6 +157,27 @@ class NetworkNode:
         self._dispatch(actions)
         self._dispatch(self.sid.on_timer(self.network.sim.now))
 
+    def feed_outcome(
+        self, report, n_samples: int, t0: float, initialized: bool = True
+    ) -> None:
+        """Replay one precomputed window outcome at its end time.
+
+        The fleet-vectorized engine computes every window's detection
+        result before the event loop runs; this entry point keeps the
+        gates and billing of :meth:`feed_window` — a crashed or
+        battery-dead node discards its outcome exactly as it would have
+        skipped the window — and hands the result to the SID machine.
+        """
+        if not self.alive:
+            return
+        if self.battery is not None and self.battery.depleted:
+            return
+        if self.battery is not None:
+            self.battery.draw_cpu(0.001 * n_samples)
+        actions = self.sid.on_window_outcome(report, t0, initialized=initialized)
+        self._dispatch(actions)
+        self._dispatch(self.sid.on_timer(self.network.sim.now))
+
     def tick(self) -> None:
         """Periodic timer (cluster deadline evaluation)."""
         if not self.alive:

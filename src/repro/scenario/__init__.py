@@ -38,6 +38,10 @@ from repro.scenario.runner import (
     run_offline_scenario,
 )
 from repro.scenario.ship import ShipTrack
+from repro.scenario.streaming import (
+    StreamingFleetSynthesizer,
+    run_streaming_scenario,
+)
 from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
 from repro.scenario.trace_io import (
     detect_on_trace,
@@ -57,6 +61,7 @@ __all__ = [
     "NetworkScenarioResult",
     "OfflineScenarioResult",
     "ShipTrack",
+    "StreamingFleetSynthesizer",
     "SynthesisConfig",
     "classify_alarms",
     "detect_on_trace",
@@ -68,6 +73,7 @@ __all__ = [
     "run_dutycycled_scenario",
     "run_network_scenario",
     "run_offline_scenario",
+    "run_streaming_scenario",
     "export_csv",
     "import_csv",
     "load_traces",

@@ -24,12 +24,17 @@ from repro.detection.cluster import (
     TemporaryClusterConfig,
     TravelLine,
 )
+from repro.detection.fleet import FleetDetector
 from repro.detection.node_detector import (
     NodeDetector,
     NodeDetectorConfig,
     merge_reports,
+    window_starts,
 )
-from repro.detection.preprocess import preprocess_z_counts
+from repro.detection.preprocess import (
+    preprocess_z_counts,
+    preprocess_z_counts_batch,
+)
 from repro.detection.reports import ClusterReport, NodeReport, SinkDecision
 from repro.detection.sid import SIDNode, SIDNodeConfig
 from repro.detection.sink import Sink
@@ -41,6 +46,7 @@ from repro.network.mac import MacConfig
 from repro.network.nodeproc import RetransmitPolicy, SensorNetwork
 from repro.physics.disturbance import Disturbance
 from repro.rng import RandomState, derive_rng, make_rng
+import numpy as np
 from repro.scenario.deployment import GridDeployment
 from repro.sensors.accelerometer import Accelerometer
 from repro.scenario.ship import ShipTrack
@@ -108,56 +114,49 @@ def truth_windows_for(
     return out
 
 
-def run_offline_scenario(
+def _fleet_offline_reports(
     deployment: GridDeployment,
-    ships: Sequence[ShipTrack] = (),
-    detector_config: NodeDetectorConfig | None = None,
-    cluster_config: TemporaryClusterConfig | None = None,
-    synthesis_config: SynthesisConfig | None = None,
-    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
-    track_hypothesis: TravelLine | None = None,
-    keep_traces: bool = False,
-    seed: RandomState = None,
-) -> OfflineScenarioResult:
-    """Synthesise, detect, and fuse one scenario without a radio.
+    traces: dict[int, AccelTrace],
+    det_cfg: NodeDetectorConfig,
+) -> dict[int, list[NodeReport]] | None:
+    """Whole-fleet lockstep detection over a shared sample grid.
 
-    ``track_hypothesis`` defaults to the first ship's ground-truth
-    line (the controlled setting of Tables I/II); pass an explicit
-    hypothesis for no-ship runs.
+    Returns ``None`` when the traces cannot be stacked (ragged lengths
+    or shorter than one window); callers fall back to the per-node
+    reference walk, which reproduces the reference behaviour including
+    its error paths.
     """
-    synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
-    det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
-    traces = synthesize_fleet_traces(
-        deployment,
-        ships,
-        synth,
-        disturbances_by_node=disturbances_by_node,
-        seed=seed,
+    nodes = list(deployment)
+    zs = [np.asarray(traces[n.node_id].z) for n in nodes]
+    if len({z.shape for z in zs}) != 1:
+        return None
+    if zs[0].size < det_cfg.window_samples:
+        return None
+    a = preprocess_z_counts_batch(np.stack(zs), det_cfg.preprocess)
+    fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    return fleet.process_samples(
+        a, [traces[n.node_id].t0 for n in nodes]
     )
-    reports_by_node: dict[int, list[NodeReport]] = {}
-    merged_by_node: dict[int, list[NodeReport]] = {}
-    for node in deployment:
-        detector = NodeDetector(
-            node.node_id,
-            node.anchor,
-            det_cfg,
-            row=node.row,
-            column=node.column,
-        )
-        reports = detector.process_trace(traces[node.node_id])
-        reports_by_node[node.node_id] = reports
-        merged_by_node[node.node_id] = merge_reports(reports)
 
-    merged_all = sorted(
-        (r for rs in merged_by_node.values() for r in rs),
-        key=lambda r: r.onset_time,
-    )
-    if track_hypothesis is None and ships:
-        track_hypothesis = ships[0].travel_line()
-    # Sequential temporary clusters, as the online protocol forms them:
-    # the earliest unassigned report initiates; reports inside the
-    # collection window join; the next report after the window opens a
-    # fresh cluster.
+
+def fuse_sequential_clusters(
+    merged_all: Sequence[NodeReport],
+    cluster_config: TemporaryClusterConfig | None,
+    track_hypothesis: TravelLine | None,
+) -> tuple[
+    list[tuple[ClusterEvent, Optional[ClusterReport]]],
+    Optional[ClusterEvent],
+    Optional[ClusterReport],
+]:
+    """Form and evaluate sequential temporary clusters from reports.
+
+    The online protocol's cluster formation, replayed offline: the
+    earliest unassigned report initiates; reports inside the collection
+    window join; the next report after the window opens a fresh cluster.
+    Returns (all outcomes in onset order, best event, best report) —
+    the best outcome is the first confirmation, else the last
+    evaluation.
+    """
     outcomes: list[tuple[ClusterEvent, Optional[ClusterReport]]] = []
     idx = 0
     while idx < len(merged_all):
@@ -172,6 +171,76 @@ def run_offline_scenario(
         cluster_event, cluster_report = event, report
         if event == ClusterEvent.CONFIRMED:
             break
+    return outcomes, cluster_event, cluster_report
+
+
+def run_offline_scenario(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack] = (),
+    detector_config: NodeDetectorConfig | None = None,
+    cluster_config: TemporaryClusterConfig | None = None,
+    synthesis_config: SynthesisConfig | None = None,
+    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    track_hypothesis: TravelLine | None = None,
+    keep_traces: bool = False,
+    seed: RandomState = None,
+    detection_engine: str = "fleet",
+) -> OfflineScenarioResult:
+    """Synthesise, detect, and fuse one scenario without a radio.
+
+    ``track_hypothesis`` defaults to the first ship's ground-truth
+    line (the controlled setting of Tables I/II); pass an explicit
+    hypothesis for no-ship runs.
+
+    ``detection_engine`` selects the lockstep-vectorized ``"fleet"``
+    walk (the default; bit-identical to the per-node reference) or the
+    per-node ``"reference"`` loop.  The fleet path silently falls back
+    to the reference when the traces do not share one sample grid.
+    """
+    if detection_engine not in ("fleet", "reference"):
+        raise ConfigurationError(
+            f"detection_engine must be 'fleet' or 'reference', "
+            f"got {detection_engine!r}"
+        )
+    synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
+    det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
+    traces = synthesize_fleet_traces(
+        deployment,
+        ships,
+        synth,
+        disturbances_by_node=disturbances_by_node,
+        seed=seed,
+    )
+    reports_by_node: dict[int, list[NodeReport]] | None = None
+    if detection_engine == "fleet":
+        reports_by_node = _fleet_offline_reports(deployment, traces, det_cfg)
+    if reports_by_node is None:
+        reports_by_node = {}
+        for node in deployment:
+            detector = NodeDetector(
+                node.node_id,
+                node.anchor,
+                det_cfg,
+                row=node.row,
+                column=node.column,
+            )
+            reports_by_node[node.node_id] = detector.process_trace(
+                traces[node.node_id]
+            )
+    merged_by_node = {
+        nid: merge_reports(reports)
+        for nid, reports in reports_by_node.items()
+    }
+
+    merged_all = sorted(
+        (r for rs in merged_by_node.values() for r in rs),
+        key=lambda r: r.onset_time,
+    )
+    if track_hypothesis is None and ships:
+        track_hypothesis = ships[0].travel_line()
+    outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
+        merged_all, cluster_config, track_hypothesis
+    )
 
     return OfflineScenarioResult(
         cluster_outcomes=outcomes,
@@ -233,6 +302,86 @@ class NetworkScenarioResult:
         )
 
 
+def _fleet_network_outcomes(
+    deployment: GridDeployment,
+    traces: dict[int, AccelTrace],
+    det_cfg: NodeDetectorConfig,
+    faults: FaultPlan | None,
+    now: float,
+) -> dict[int, list[tuple[int, Optional[NodeReport], bool]]] | None:
+    """Precompute every node's window outcomes for the event loop.
+
+    Detection is purely local (no radio feedback reaches eqs. 4-8), so
+    the whole fleet's Delta-t walk can run vectorized before the
+    discrete-event simulation starts.  The only run-time influence on a
+    node's detector state is a *skipped* window — a crashed node's
+    ``feed_window`` returns before touching the detector — so the walk
+    masks out exactly the windows whose end times land inside a planned
+    crash interval.  (Battery depletion also skips windows, but a
+    depleted node never comes back, so discarding its precomputed
+    outcomes at feed time is observably identical.)
+
+    Returns ``{node_id: [(start, report-or-None, seeded_after)]}`` with
+    one entry per *evaluated* window, or ``None`` when the traces do
+    not share one sample grid (callers fall back to the reference
+    per-node scheduling).
+    """
+    nodes = list(deployment)
+    zs = [np.asarray(traces[n.node_id].z) for n in nodes]
+    if len({z.shape for z in zs}) != 1:
+        return None
+    out: dict[int, list[tuple[int, Optional[NodeReport], bool]]] = {
+        n.node_id: [] for n in nodes
+    }
+    starts = window_starts(det_cfg, zs[0].size)
+    if not starts:
+        return out
+    # A window is skipped iff its end time falls inside [crash, reboot]
+    # (both ends inclusive): the crash event is scheduled at install
+    # time, before the feed events, so it pops first on a time tie; the
+    # reboot event is scheduled during the run, after the feeds, so the
+    # feed at the reboot instant still sees a dead node.
+    intervals: dict[int, list[tuple[float, float]]] = {
+        n.node_id: [] for n in nodes
+    }
+    if faults is not None:
+        for crash in faults.node_crashes:
+            if crash.node_id not in intervals:
+                continue
+            lo = max(crash.at_s, now)
+            hi = (
+                lo + crash.reboot_after_s
+                if crash.reboot_after_s is not None
+                else math.inf
+            )
+            intervals[crash.node_id].append((lo, hi))
+    a = preprocess_z_counts_batch(np.stack(zs), det_cfg.preprocess)
+    fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    rate = det_cfg.rate_hz
+    w = det_cfg.window_samples
+    t0s = [traces[n.node_id].t0 for n in nodes]
+    for start in starts:
+        window_t0s = [float(t0) + start / rate for t0 in t0s]
+        active = np.array(
+            [
+                not any(
+                    lo <= window_t0s[i] + w / rate <= hi
+                    for lo, hi in intervals[nodes[i].node_id]
+                )
+                for i in range(len(nodes))
+            ],
+            dtype=bool,
+        )
+        reports = fleet.step(a[:, start : start + w], window_t0s, active=active)
+        seeded = fleet.seeded
+        for i, node in enumerate(nodes):
+            if active[i]:
+                out[node.node_id].append(
+                    (start, reports[i], bool(seeded[i]))
+                )
+    return out
+
+
 def run_network_scenario(
     deployment: GridDeployment,
     ships: Sequence[ShipTrack] = (),
@@ -246,6 +395,7 @@ def run_network_scenario(
     retransmit: RetransmitPolicy | None = None,
     resync_interval_s: float | None = 120.0,
     seed: RandomState = None,
+    detection_engine: str = "fleet",
 ) -> NetworkScenarioResult:
     """Run one scenario through the full network stack.
 
@@ -264,7 +414,19 @@ def run_network_scenario(
     beacon (None disables it); crashed nodes miss their beacons and a
     plan's :class:`~repro.faults.plan.ClockSyncFailure` suppresses
     them per node, letting drift accumulate unbounded.
+
+    ``detection_engine`` selects how per-window detection runs:
+    ``"fleet"`` (default) precomputes every window outcome with the
+    lockstep-vectorized engine and replays them through the event loop
+    (bit-identical to the reference, including planned crash windows);
+    ``"reference"`` feeds raw windows into each node's own detector at
+    event time.
     """
+    if detection_engine not in ("fleet", "reference"):
+        raise ConfigurationError(
+            f"detection_engine must be 'fleet' or 'reference', "
+            f"got {detection_engine!r}"
+        )
     base = make_rng(seed)
     root = int(base.integers(2**31))
     cfg = sid_config if sid_config is not None else SIDNodeConfig()
@@ -322,7 +484,13 @@ def run_network_scenario(
     # from its own reports (TravelLine.fit_from_reports).
 
     window = cfg.detector.window_samples
-    hop = cfg.detector.hop_samples
+    outcomes = (
+        _fleet_network_outcomes(
+            deployment, traces, cfg.detector, faults, network.sim.now
+        )
+        if detection_engine == "fleet"
+        else None
+    )
     for node in deployment:
         sid = SIDNode(
             node.node_id,
@@ -334,12 +502,31 @@ def run_network_scenario(
         )
         proc = network.add_node(sid, battery=node.mote.battery)
         trace = traces[node.node_id]
-        a = preprocess_z_counts(trace.z, cfg.detector.preprocess)
-        for start in range(0, len(a) - window + 1, hop):
-            seg = a[start : start + window]
-            t_start = trace.t0 + start / cfg.detector.rate_hz
-            t_end = t_start + window / cfg.detector.rate_hz
-            network.sim.schedule_at(t_end, proc.feed_window, seg, t_start)
+        if outcomes is not None:
+            # Replay the precomputed outcomes at the same window end
+            # times the reference schedules its feeds (a masked-out
+            # crash window schedules nothing — its reference feed
+            # would have fired as a no-op on a dead node).
+            for start, report, seeded in outcomes[node.node_id]:
+                t_start = trace.t0 + start / cfg.detector.rate_hz
+                t_end = t_start + window / cfg.detector.rate_hz
+                network.sim.schedule_at(
+                    t_end,
+                    proc.feed_outcome,
+                    report,
+                    window,
+                    t_start,
+                    seeded,
+                )
+        else:
+            a = preprocess_z_counts(trace.z, cfg.detector.preprocess)
+            for start in window_starts(cfg.detector, len(a)):
+                seg = a[start : start + window]
+                t_start = trace.t0 + start / cfg.detector.rate_hz
+                t_end = t_start + window / cfg.detector.rate_hz
+                network.sim.schedule_at(
+                    t_end, proc.feed_window, seg, t_start
+                )
         # Timer ticks keep cluster deadlines firing after sampling ends.
         horizon = trace.t0 + trace.duration + 2 * cfg.cluster.collection_timeout_s
         t = trace.t0 + cfg.detector.window_s
@@ -427,6 +614,99 @@ class DutyCycledScenarioResult:
         return sum(len(v) for v in self.reports_by_node.values())
 
 
+def _dutycycled_fleet_reports(
+    deployment: GridDeployment,
+    traces: dict[int, AccelTrace],
+    det_cfg: NodeDetectorConfig,
+    coarse_cfg: NodeDetectorConfig,
+    decimation: int,
+    controller,
+) -> tuple[dict[int, list[NodeReport]], Optional[float]] | None:
+    """Group-vectorized duty-cycled walk (one fleet step per window).
+
+    Valid only when every trace shares one sample grid *and* the
+    wake-up latency is positive: an alarm raised inside a window group
+    then cannot retroactively activate other rows of the same group
+    (its wake interval starts at ``onset + latency > t0``), so the
+    active/wakeup masks for a group can be computed up front and the
+    per-row branch replayed vectorized.  Returns ``None`` when the
+    preconditions fail; callers fall back to the sequential reference.
+    """
+    nodes = list(deployment)
+    if controller.config.wakeup_latency_s <= 0:
+        return None
+    if len({traces[n.node_id].t0 for n in nodes}) != 1:
+        return None
+    zs = [np.asarray(traces[n.node_id].z) for n in nodes]
+    if len({z.shape for z in zs}) != 1:
+        return None
+    t_base = float(traces[nodes[0].node_id].t0)
+    Z = np.stack(zs)
+    pre = preprocess_z_counts_batch(Z, det_cfg.preprocess)
+    coarse_pre = preprocess_z_counts_batch(
+        Z[:, ::decimation], coarse_cfg.preprocess
+    )
+    window = det_cfg.window_samples
+    coarse_window = coarse_cfg.window_samples
+    fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    coarse_fleet = FleetDetector.from_deployment(deployment, coarse_cfg)
+    n = len(nodes)
+    rate = det_cfg.rate_hz
+    # Within a group rows replay in ascending node id — the order the
+    # reference's (t0, node_id, start) schedule visits them.
+    order = sorted(range(n), key=lambda i: nodes[i].node_id)
+    reports_by_node: dict[int, list[NodeReport]] = {
+        n_.node_id: [] for n_ in nodes
+    }
+    first_alarm: Optional[float] = None
+    for start in window_starts(det_cfg, pre.shape[1]):
+        t0 = t_base + start / rate
+        t0s = [t0] * n
+        c_start = start // decimation
+        c_seg = coarse_pre[:, c_start : c_start + coarse_window]
+        seeded = fleet.seeded
+        init_rows = ~seeded
+        wake = controller.in_wakeup(t0) or decimation == 1
+        active = np.array(
+            [
+                bool(seeded[i]) and controller.is_active(nodes[i].node_id, t0)
+                for i in range(n)
+            ],
+            dtype=bool,
+        )
+        fine_branch = active & wake
+        coarse_branch = active & ~wake
+        if c_seg.shape[1] < coarse_window:
+            # Sentinels skip a short trailing coarse segment (the
+            # reference's ``c_seg.size < coarse_window`` continue).
+            coarse_branch[:] = False
+        fine_mask = init_rows | fine_branch
+        coarse_mask = init_rows | coarse_branch
+        fine_reports: list[Optional[NodeReport]] = [None] * n
+        if fine_mask.any():
+            fine_reports = fleet.step(
+                pre[:, start : start + window], t0s, active=fine_mask
+            )
+        coarse_reports: list[Optional[NodeReport]] = [None] * n
+        if coarse_mask.any():
+            coarse_reports = coarse_fleet.step(
+                c_seg, t0s, active=coarse_mask
+            )
+        for i in order:
+            if fine_branch[i]:
+                report = fine_reports[i]
+            elif coarse_branch[i]:
+                report = coarse_reports[i]
+            else:
+                continue
+            if report is not None:
+                reports_by_node[nodes[i].node_id].append(report)
+                controller.alarm(report.onset_time)
+                if first_alarm is None:
+                    first_alarm = report.onset_time
+    return reports_by_node, first_alarm
+
+
 def run_dutycycled_scenario(
     deployment: GridDeployment,
     ships: Sequence[ShipTrack] = (),
@@ -435,6 +715,7 @@ def run_dutycycled_scenario(
     synthesis_config: SynthesisConfig | None = None,
     disturbances_by_node: dict[int, list[Disturbance]] | None = None,
     seed: RandomState = None,
+    detection_engine: str = "fleet",
 ) -> DutyCycledScenarioResult:
     """Run the Sec. IV-A sentinel/wake-up policy over one scenario.
 
@@ -443,10 +724,23 @@ def run_dutycycled_scenario(
     so most nodes sleep through quiet water yet still catch the ship.
     Windows are processed in global time order so an alarm at t can
     wake other nodes for their windows after t.
+
+    ``detection_engine="fleet"`` (default) advances the whole fleet one
+    window group at a time with the vectorized engine — bit-identical
+    to the sequential reference whenever the wake-up latency is
+    positive and all traces share one sample grid (it falls back to
+    the reference otherwise); ``"reference"`` forces the sequential
+    per-window loop.
     """
     from dataclasses import replace
 
     from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+
+    if detection_engine not in ("fleet", "reference"):
+        raise ConfigurationError(
+            f"detection_engine must be 'fleet' or 'reference', "
+            f"got {detection_engine!r}"
+        )
 
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
     det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
@@ -482,6 +776,22 @@ def run_dutycycled_scenario(
         if decimation > 1
         else det_cfg
     )
+    if detection_engine == "fleet":
+        fleet_result = _dutycycled_fleet_reports(
+            deployment, traces, det_cfg, coarse_cfg, decimation, controller
+        )
+        if fleet_result is not None:
+            reports_by_node, first_alarm = fleet_result
+            return DutyCycledScenarioResult(
+                reports_by_node=reports_by_node,
+                merged_by_node={
+                    nid: merge_reports(reports)
+                    for nid, reports in reports_by_node.items()
+                },
+                controller=controller,
+                first_alarm_time=first_alarm,
+                truth_windows_by_node=truth_windows_for(deployment, ships),
+            )
     detectors = {
         n.node_id: NodeDetector(
             n.node_id, n.anchor, det_cfg, row=n.row, column=n.column
@@ -505,13 +815,12 @@ def run_dutycycled_scenario(
         for nid, tr in traces.items()
     }
     window = det_cfg.window_samples
-    hop = det_cfg.hop_samples
     coarse_window = coarse_cfg.window_samples
     # Build the (t0, node_id, start) schedule in global time order.
     schedule: list[tuple[float, int, int]] = []
     for nid, a in preprocessed.items():
         t_base = traces[nid].t0
-        for start in range(0, len(a) - window + 1, hop):
+        for start in window_starts(det_cfg, len(a)):
             schedule.append((t_base + start / det_cfg.rate_hz, nid, start))
     schedule.sort()
 

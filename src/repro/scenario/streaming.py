@@ -1,0 +1,259 @@
+"""Streaming synthesis -> detection fusion (O(nodes x chunk) memory).
+
+The offline runner materialises every node's full trace, preprocesses
+it, then walks the windows — peak memory O(nodes x duration).  For
+long scenarios (or large fleets) the synthesis output can instead feed
+detection *chunk by chunk*: :class:`StreamingFleetSynthesizer` produces
+``(nodes, chunk)`` blocks of raw z counts on demand, a
+:class:`~repro.detection.preprocess.StreamingPreprocessor` conditions
+them with carried filter state, and a
+:class:`~repro.detection.fleet.FleetStream` evaluates every Delta-t
+window as soon as its samples exist, retaining only a window-sized
+tail.  Peak memory is then O(nodes x chunk), independent of duration.
+
+Chunking invariants:
+
+- every synthesis term (ambient trig contraction, wake packets,
+  disturbances, the buoy's tilt projection) is a pointwise function of
+  the sample instant, so per-chunk evaluation reproduces the
+  monolithic arrays up to BLAS reduction order (absorbed by the
+  accelerometer's integer quantisation);
+- each mote's z-axis noise comes from a generator clone advanced to
+  the z position of its three-axis read
+  (:meth:`~repro.sensors.accelerometer.Accelerometer.axis_noise_rng`),
+  and the generator's normal stream is split-invariant, so chunked
+  draws equal the monolithic read's draws bit for bit;
+- the causal preprocessing filters and the fleet window walk carry
+  exact state across chunks.
+
+The zero-phase ``"butter"`` preprocessing filter is global (its
+backward pass is anti-causal), so streaming requires one of the
+:data:`~repro.detection.preprocess.STREAMABLE_FILTER_KINDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.detection.fleet import FleetDetector
+from repro.detection.node_detector import NodeDetectorConfig, merge_reports
+from repro.detection.preprocess import (
+    STREAMABLE_FILTER_KINDS,
+    StreamingPreprocessor,
+)
+from repro.errors import ConfigurationError
+from repro.physics.disturbance import Disturbance, render_disturbances
+from repro.rng import RandomState, derive_rng, make_rng
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.runner import (
+    OfflineScenarioResult,
+    fuse_sequential_clusters,
+    truth_windows_for,
+)
+from repro.scenario.ship import ShipTrack
+from repro.scenario.synthesis import (
+    SynthesisConfig,
+    build_ambient_field,
+    wake_trains_for_node,
+)
+from repro.detection.cluster import TemporaryClusterConfig, TravelLine
+
+
+class StreamingFleetSynthesizer:
+    """Produce a fleet's raw z-count traces in ``(nodes, chunk)`` blocks.
+
+    Draws the exact random realisation :func:`synthesize_fleet_traces`
+    would (same seed derivation, same ambient field, same per-device
+    noise streams); only the z axis is digitised, which is all the
+    detection pipeline consumes.
+    """
+
+    def __init__(
+        self,
+        deployment: GridDeployment,
+        ships: Sequence[ShipTrack] = (),
+        config: SynthesisConfig | None = None,
+        disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        cfg = config if config is not None else SynthesisConfig()
+        if cfg.include_horizontal:
+            raise ConfigurationError(
+                "streaming synthesis digitises only the z axis; "
+                "include_horizontal needs the monolithic path"
+            )
+        self.config = cfg
+        self.nodes = list(deployment)
+        if not self.nodes:
+            raise ConfigurationError("empty deployment")
+        # Same derivation chain as synthesize_fleet_traces, so a given
+        # seed yields the same ambient realisation.
+        base = make_rng(seed)
+        root = int(base.integers(2**31))
+        self.field = build_ambient_field(cfg, seed=derive_rng(root, "ambient"))
+        grids = [
+            n.mote.sample_instants(cfg.t0, cfg.duration_s) for n in self.nodes
+        ]
+        if any(not np.array_equal(g, grids[0]) for g in grids[1:]):
+            raise ConfigurationError(
+                "streaming synthesis needs one shared fleet sample grid"
+            )
+        self.t = grids[0]
+        wakes = [ship.wake() for ship in ships]
+        self._trains = [
+            wake_trains_for_node(n, ships, cfg, wakes=wakes)
+            for n in self.nodes
+        ]
+        self._gains = [
+            [
+                float(n.buoy.heave_gain(train.carrier_frequency_hz))
+                for train in trains
+            ]
+            for n, trains in zip(self.nodes, self._trains)
+        ]
+        dmap = disturbances_by_node or {}
+        self._disturbances = [dmap.get(n.node_id, []) for n in self.nodes]
+        # The monolithic read consumes x-, y- then z-noise from one
+        # stream; position a per-node clone at the z draws.
+        n_samples = self.t.size
+        self._noise = [
+            n.mote.accelerometer.axis_noise_rng(2, n_samples)
+            for n in self.nodes
+        ]
+        self._positions = [n.anchor for n in self.nodes]
+        self._responses = [n.buoy.heave_gain for n in self.nodes]
+        self.t0s = [
+            float(n.mote.clock.local_time(float(self.t[0])))
+            for n in self.nodes
+        ]
+        self._pos = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Fleet size."""
+        return len(self.nodes)
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per node on the shared grid."""
+        return int(self.t.size)
+
+    @property
+    def samples_remaining(self) -> int:
+        """Samples not yet produced."""
+        return int(self.t.size) - self._pos
+
+    def next_chunk(self, chunk_samples: int) -> Optional[np.ndarray]:
+        """The next ``(nodes, <=chunk_samples)`` block of raw z counts.
+
+        Returns ``None`` once the grid is exhausted.  Each call bills
+        the produced samples to every mote's battery, like the
+        monolithic record does in one lump.
+        """
+        if chunk_samples < 1:
+            raise ConfigurationError(
+                f"chunk_samples must be >= 1, got {chunk_samples}"
+            )
+        if self._pos >= self.t.size:
+            return None
+        t_c = self.t[self._pos : self._pos + chunk_samples]
+        self._pos += t_c.size
+        az = self.field.vertical_acceleration_batch(
+            self._positions, t_c, responses=self._responses
+        )
+        out = np.empty((len(self.nodes), t_c.size), dtype=np.int64)
+        for i, node in enumerate(self.nodes):
+            az_i = az[i]
+            for gain, train in zip(self._gains[i], self._trains[i]):
+                az_i = az_i + gain * train.vertical_acceleration(t_c)
+            extra = render_disturbances(self._disturbances[i], t_c)
+            if extra.shape == t_c.shape:
+                az_i = az_i + extra
+            motion = node.buoy.specific_force(t_c, az_i)
+            out[i] = node.mote.accelerometer.read_axis_chunk(
+                motion.fz, 2, self._noise[i]
+            )
+            node.mote.battery.draw_samples(t_c.size)
+        return out
+
+    def chunks(self, chunk_samples: int) -> Iterator[np.ndarray]:
+        """Iterate the whole grid in ``chunk_samples`` blocks."""
+        while True:
+            block = self.next_chunk(chunk_samples)
+            if block is None:
+                return
+            yield block
+
+
+def run_streaming_scenario(
+    deployment: GridDeployment,
+    ships: Sequence[ShipTrack] = (),
+    detector_config: NodeDetectorConfig | None = None,
+    cluster_config: TemporaryClusterConfig | None = None,
+    synthesis_config: SynthesisConfig | None = None,
+    disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    track_hypothesis: TravelLine | None = None,
+    seed: RandomState = None,
+    chunk_s: float = 20.0,
+) -> OfflineScenarioResult:
+    """The offline scenario with synthesis fused into detection.
+
+    Equivalent to :func:`~repro.scenario.runner.run_offline_scenario`
+    with a streamable preprocessing filter, but never materialises a
+    full trace: synthesis output flows through the carried-state
+    preprocessor into the fleet window walk ``chunk_s`` seconds at a
+    time, capping peak memory at O(nodes x chunk).  ``traces`` in the
+    result is empty (there is nothing to keep).
+    """
+    if chunk_s <= 0:
+        raise ConfigurationError(f"chunk_s must be positive, got {chunk_s}")
+    det_cfg = (
+        detector_config if detector_config is not None else NodeDetectorConfig()
+    )
+    if det_cfg.preprocess.filter_kind not in STREAMABLE_FILTER_KINDS:
+        raise ConfigurationError(
+            f"filter_kind {det_cfg.preprocess.filter_kind!r} cannot "
+            "stream; use one of "
+            f"{', '.join(repr(k) for k in STREAMABLE_FILTER_KINDS)}"
+        )
+    synth = (
+        synthesis_config if synthesis_config is not None else SynthesisConfig()
+    )
+    source = StreamingFleetSynthesizer(
+        deployment,
+        ships,
+        synth,
+        disturbances_by_node=disturbances_by_node,
+        seed=seed,
+    )
+    pre = StreamingPreprocessor(source.n_nodes, det_cfg.preprocess)
+    fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    stream = fleet.stream(source.t0s)
+    chunk_samples = max(int(round(chunk_s * det_cfg.rate_hz)), 1)
+    for z_chunk in source.chunks(chunk_samples):
+        stream.push(pre.push(z_chunk))
+    reports_by_node = stream.finish()
+    merged_by_node = {
+        nid: merge_reports(reports)
+        for nid, reports in reports_by_node.items()
+    }
+    merged_all = sorted(
+        (r for rs in merged_by_node.values() for r in rs),
+        key=lambda r: r.onset_time,
+    )
+    if track_hypothesis is None and ships:
+        track_hypothesis = ships[0].travel_line()
+    outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
+        merged_all, cluster_config, track_hypothesis
+    )
+    return OfflineScenarioResult(
+        cluster_outcomes=outcomes,
+        reports_by_node=reports_by_node,
+        merged_by_node=merged_by_node,
+        cluster_event=cluster_event,
+        cluster_report=cluster_report,
+        truth_windows_by_node=truth_windows_for(deployment, ships),
+        traces={},
+    )

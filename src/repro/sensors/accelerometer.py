@@ -14,6 +14,7 @@ the ~1000-count level around which the paper's Fig. 5 z-trace floats.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -97,3 +98,50 @@ class Accelerometer:
             self.read_axis(fy_mps2, 1),
             self.read_axis(fz_mps2, 2),
         )
+
+    # ------------------------------------------------------------------
+    # Chunked (streaming) digitisation
+    # ------------------------------------------------------------------
+    def axis_noise_rng(self, axis: int, n_samples: int):
+        """A noise-stream clone positioned at ``axis``'s draws.
+
+        :meth:`read` consumes x-, y- then z-noise from one stream, so
+        within a three-axis read of ``n_samples`` the draws for ``axis``
+        start ``axis * n_samples`` normals into the stream.  The clone
+        is advanced there (the generator's normal stream is
+        split-invariant, so chunked draws from it reproduce the
+        monolithic read's values exactly) and the device's own stream is
+        left untouched.
+        """
+        if axis not in (0, 1, 2):
+            raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
+        if n_samples < 0:
+            raise ConfigurationError(
+                f"n_samples must be >= 0, got {n_samples}"
+            )
+        rng = copy.deepcopy(self._noise_rng)
+        skip = axis * n_samples
+        while skip:
+            block = min(skip, 1 << 16)
+            rng.normal(size=block)
+            skip -= block
+        return rng
+
+    def read_axis_chunk(self, accel_mps2, axis: int, noise_rng) -> np.ndarray:
+        """:meth:`read_axis` drawing noise from an external stream.
+
+        Used with :meth:`axis_noise_rng` to digitise one axis chunk by
+        chunk; successive chunks reproduce a monolithic read of that
+        axis bit for bit.
+        """
+        if axis not in (0, 1, 2):
+            raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
+        ideal = self.mps2_to_counts(accel_mps2)
+        noisy = (
+            ideal
+            + self._bias[axis]
+            + noise_rng.normal(0.0, self.spec.noise_rms_counts, ideal.shape)
+        )
+        limit = self.spec.max_counts
+        clipped = np.clip(noisy, -limit, limit)
+        return np.rint(clipped).astype(np.int64)

@@ -76,3 +76,74 @@ def test_config_validation():
         PreprocessConfig(counts_per_g=0.0)
     with pytest.raises(ConfigurationError):
         PreprocessConfig(filter_kind="fir")
+
+
+class TestBatchedPreprocess:
+    """Batched and streaming variants must match per-row bit for bit."""
+
+    @pytest.mark.parametrize(
+        "kind", ["butter", "butter-causal", "moving-average"]
+    )
+    def test_batch_bit_identical_to_per_row(self, kind):
+        from repro.detection.preprocess import preprocess_z_counts_batch
+
+        rng = np.random.default_rng(7)
+        Z = np.stack(
+            [_counts(0.1 * rng.normal(size=3000)) for _ in range(5)]
+        )
+        cfg = PreprocessConfig(filter_kind=kind)
+        batch = preprocess_z_counts_batch(Z, cfg)
+        for i in range(5):
+            row = preprocess_z_counts(Z[i], cfg)
+            assert np.array_equal(batch[i], row)
+
+    def test_batch_rejects_1d(self):
+        from repro.detection.preprocess import preprocess_z_counts_batch
+
+        with pytest.raises(ConfigurationError):
+            preprocess_z_counts_batch(np.zeros(100))
+
+    @pytest.mark.parametrize("kind", ["butter-causal", "moving-average"])
+    @pytest.mark.parametrize("chunk", [13, 100, 777])
+    def test_streaming_bit_identical_to_batch(self, kind, chunk):
+        from repro.detection.preprocess import (
+            StreamingPreprocessor,
+            preprocess_z_counts_batch,
+        )
+
+        rng = np.random.default_rng(11)
+        Z = np.stack(
+            [_counts(0.1 * rng.normal(size=2501)) for _ in range(4)]
+        )
+        cfg = PreprocessConfig(filter_kind=kind)
+        want = preprocess_z_counts_batch(Z, cfg)
+        stream = StreamingPreprocessor(4, cfg)
+        got = np.concatenate(
+            [
+                stream.push(Z[:, lo : lo + chunk])
+                for lo in range(0, Z.shape[1], chunk)
+            ],
+            axis=1,
+        )
+        assert np.array_equal(got, want)
+
+    def test_zero_phase_butter_not_streamable(self):
+        from repro.detection.preprocess import StreamingPreprocessor
+
+        with pytest.raises(ConfigurationError, match="not streamable"):
+            StreamingPreprocessor(3, PreprocessConfig(filter_kind="butter"))
+
+    def test_invalid_filter_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessConfig(filter_kind="fir")
+
+    def test_butter_causal_differs_from_zero_phase(self):
+        rng = np.random.default_rng(3)
+        z = _counts(0.1 * rng.normal(size=2000))
+        causal = preprocess_z_counts(
+            z, PreprocessConfig(filter_kind="butter-causal")
+        )
+        zero_phase = preprocess_z_counts(
+            z, PreprocessConfig(filter_kind="butter")
+        )
+        assert not np.array_equal(causal, zero_phase)
