@@ -15,6 +15,7 @@ from repro.analysis.tables import format_matrix
 from repro.detection.classifier import EventClass, EventClassifier
 from repro.physics.disturbance import FishBump, WindGust
 from repro.physics.wake_train import WakeTrain
+from repro.rng import make_rng
 
 RATE = 50.0
 CLASSES = [
@@ -70,7 +71,7 @@ def _make_event(rng, label):
 def _confusion(n_per_class=25):
     classifier = EventClassifier()
     matrix = np.zeros((4, 4))
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     for i, truth in enumerate(CLASSES):
         for _ in range(n_per_class):
             verdict = classifier.classify(_make_event(rng, truth))

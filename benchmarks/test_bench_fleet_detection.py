@@ -147,12 +147,13 @@ def test_bench_fleet_chunked_memory():
     members = _members(n)
     t0s = _t0s(n)
     rows = np.arange(n, dtype=float)[:, None]
+    even_rows = (np.arange(n) % 2 == 0)[:, None]
 
     def block(lo: int, hi: int) -> np.ndarray:
         idx = np.arange(lo, hi, dtype=float)[None, :]
         a = 1.0 + np.abs(np.sin(0.37 * idx + rows))
         a = a + 6.0 * (
-            (idx > 10_000.0) & (idx < 12_000.0) & (rows % 2.0 == 0.0)
+            (idx > 10_000.0) & (idx < 12_000.0) & even_rows
         )
         return a
 

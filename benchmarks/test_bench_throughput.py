@@ -17,6 +17,7 @@ from repro.detection.preprocess import preprocess_z_counts
 from repro.dsp.wavelet import cwt_morlet
 from repro.physics.spectrum import SeaState, sea_state_spectrum
 from repro.physics.wavefield import AmbientWaveField
+from repro.rng import make_rng
 from repro.types import Position
 
 
@@ -32,7 +33,7 @@ def test_bench_wavefield_synthesis(benchmark):
 
 def test_bench_detector_throughput(benchmark):
     """Preprocess + detect over a 400 s trace (the per-node hot path)."""
-    rng = np.random.default_rng(2)
+    rng = make_rng(2)
     z = (1024 + 60 * rng.standard_normal(20000)).astype(np.int64)
 
     def run():
@@ -47,7 +48,7 @@ def test_bench_detector_throughput(benchmark):
 
 def test_bench_cwt_throughput(benchmark):
     """Morlet CWT: 60 s of signal over 40 scales."""
-    rng = np.random.default_rng(3)
+    rng = make_rng(3)
     x = rng.standard_normal(3000)
     freqs = np.geomspace(0.1, 5.0, 40)
 

@@ -12,7 +12,7 @@ Run:  python examples/long_term_surveillance.py
 
 from __future__ import annotations
 
-from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+from repro.detection.dutycycle import DutyCycleConfig
 from repro.detection.node_detector import NodeDetectorConfig
 from repro.scenario.metrics import classify_alarms
 from repro.scenario.presets import paper_scenario

@@ -27,7 +27,7 @@ from repro.dsp.features import (
 from repro.dsp.filters import butter_lowpass
 from repro.dsp.stft import stft
 from repro.dsp.wavelet import Scalogram, cwt_morlet
-from repro.errors import ConfigurationError, EstimationError
+from repro.errors import EstimationError
 from repro.physics.disturbance import BirdStrike, WindGust
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.scenario.deployment import GridDeployment
@@ -73,15 +73,15 @@ def _heavy_nuisances(
     seed: RandomState,
     gusts_per_node_hour: float = 6.0,
     strikes_per_node_hour: float = 3.0,
-):
+) -> dict[int, list[WindGust | BirdStrike]]:
     """Nuisance mix for the Fig. 11 runs: gusts strong enough to trip
     even high-M thresholds occasionally, plus bird strikes whose
     sub-Hz rocking survives the 1 Hz low-pass."""
     rng = make_rng(seed)
     hours = synth.duration_s / 3600.0
-    out: dict[int, list] = {}
+    out: dict[int, list[WindGust | BirdStrike]] = {}
     for node in deployment:
-        events: list = []
+        events: list[WindGust | BirdStrike] = []
         for _ in range(rng.poisson(gusts_per_node_hour * hours)):
             events.append(
                 WindGust(

@@ -42,7 +42,7 @@ def generate_report(
 ) -> None:
     """Run all experiments and write the report to ``out``."""
     seeds = tuple(seeds) if seeds is not None else ((1,) if quick else (1, 2, 3))
-    t_start = time.time()
+    t_start = time.perf_counter()
     out.write("SID reproduction report\n")
     out.write(f"mode: {'quick' if quick else 'full'}; seeds: {seeds}\n")
 
@@ -154,7 +154,7 @@ def generate_report(
         + "\n"
     )
 
-    out.write(f"\nreport generated in {time.time() - t_start:.0f} s\n")
+    out.write(f"\nreport generated in {time.perf_counter() - t_start:.0f} s\n")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -17,7 +17,7 @@ Two cluster layers coexist:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Sequence
 
@@ -428,7 +428,9 @@ class TemporaryCluster:
 
         def side(report: NodeReport) -> int:
             s = track.signed_distance(report.position)
-            return 0 if s == 0.0 else (1 if s > 0 else -1)
+            # Exact sign: a node precisely on the track line belongs to
+            # neither side, so the zero case must be bit-exact.
+            return 0 if s == 0.0 else (1 if s > 0 else -1)  # lint: ignore[NUM001]
 
         best: Optional[SpeedEstimate] = None
         best_energy = -1.0

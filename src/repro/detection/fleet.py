@@ -27,7 +27,7 @@ with peak memory O(nodes x chunk) instead of O(nodes x duration).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.errors import (
     SignalLengthError,
 )
 from repro.types import Position
+
+if TYPE_CHECKING:
+    from repro.scenario.deployment import GridDeployment
 
 
 @dataclass(frozen=True)
@@ -81,7 +84,9 @@ class FleetDetector:
 
     @classmethod
     def from_deployment(
-        cls, deployment, config: NodeDetectorConfig | None = None
+        cls,
+        deployment: GridDeployment,
+        config: NodeDetectorConfig | None = None,
     ) -> "FleetDetector":
         """One row per deployed node, in deployment iteration order."""
         return cls(

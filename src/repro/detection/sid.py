@@ -38,7 +38,7 @@ from repro.detection.cluster import (
 )
 from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
 from repro.detection.reports import ClusterReport, NodeReport
-from repro.errors import ProtocolError
+from repro.errors import InternalError, ProtocolError
 from repro.types import Position
 
 
@@ -190,11 +190,17 @@ class SIDNode:
         if report is None:
             return []
         if self.state == SIDState.TEMP_CLUSTER_HEAD:
-            assert self._cluster is not None
+            if self._cluster is None:
+                raise InternalError(
+                    "TEMP_CLUSTER_HEAD state without an open cluster"
+                )
             self._cluster.add_report(report)
             return []
         if self.state == SIDState.TEMP_CLUSTER_MEMBER:
-            assert self._member_of is not None
+            if self._member_of is None:
+                raise InternalError(
+                    "TEMP_CLUSTER_MEMBER state without a recorded head"
+                )
             return [
                 MemberReportAction(head_id=self._member_of, report=report)
             ]

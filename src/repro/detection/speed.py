@@ -76,7 +76,9 @@ def estimate_heading_alpha_rad(
     """
     numerator = t2 + t4 - t1 - t3
     denominator = t2 + t3 - t1 - t4
-    if denominator == 0.0:
+    # Exact degeneracy test: eq. 16's perpendicular-crossing case is a
+    # bit-exact zero of the timestamp sum, not a near-zero.
+    if denominator == 0.0:  # lint: ignore[NUM001]
         return math.pi / 2.0
     return math.atan(numerator / denominator * math.tan(_SEVENTY_RAD))
 
@@ -105,7 +107,9 @@ def estimate_ship_speed(
         raise EstimationError(f"theta must be in (0, pi/2), got {theta_rad}")
     dt_i = t2 - t1
     dt_j = t4 - t3
-    if dt_i == 0.0 or dt_j == 0.0:
+    # Exact simultaneity: identical detection timestamps (same sample
+    # instant) are the degenerate input, not merely close ones.
+    if dt_i == 0.0 or dt_j == 0.0:  # lint: ignore[NUM001]
         raise EstimationError(
             "simultaneous detections in a column; cannot estimate speed"
         )

@@ -97,7 +97,7 @@ class Scalogram:
     def band_fraction(self, f_lo: float, f_hi: float) -> float:
         """Fraction of total scalogram energy inside ``[f_lo, f_hi]``."""
         total = float(self.power.sum())
-        if total == 0.0:
+        if total <= 0.0:
             return 0.0
         mask = (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
         return float(self.power[mask].sum()) / total

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.faults.network import DeliveryFaults, FaultyChannel
-from repro.faults.plan import FaultPlan, FaultStats
+from repro.faults.plan import BatteryDrain, FaultPlan, FaultStats, NodeCrash
 from repro.faults.sensor import FaultyAccelerometer
 from repro.network.channel import Channel
 from repro.rng import derive_rng
@@ -41,7 +43,7 @@ class FaultInjector:
         # a different scenario keeps the same fault realisation.
         root = self.plan.seed
 
-        def stream(name: str):
+        def stream(name: str) -> np.random.Generator:
             return derive_rng(root, f"fault-{name}")
 
         self._stream = stream
@@ -124,7 +126,7 @@ class FaultInjector:
                 max(drain.at_s, network.sim.now), self._drain, network, drain
             )
 
-    def _crash(self, network: "SensorNetwork", crash) -> None:
+    def _crash(self, network: "SensorNetwork", crash: NodeCrash) -> None:
         node = network.nodes.get(crash.node_id)
         if node is None or not node.alive:
             return
@@ -142,7 +144,7 @@ class FaultInjector:
         node.reboot()
         self.stats.node_reboots += 1
 
-    def _drain(self, network: "SensorNetwork", drain) -> None:
+    def _drain(self, network: "SensorNetwork", drain: BatteryDrain) -> None:
         node = network.nodes.get(drain.node_id)
         if node is None or node.battery is None:
             return

@@ -13,7 +13,7 @@ synthesis draws of the underlying scenario.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,12 @@ from repro.faults.plan import (
     MessageDuplication,
 )
 from repro.network.channel import Channel
+from repro.rng import make_rng
 from repro.types import Position
+
+if TYPE_CHECKING:
+    from repro.network.messages import Frame
+    from repro.network.simulator import Simulator
 
 
 class GilbertElliott:
@@ -79,7 +84,7 @@ class FaultyChannel:
         self.blackouts = tuple(blackouts)
         self._stats = stats if stats is not None else FaultStats()
         self._gilbert = (
-            GilbertElliott(burst, rng if rng is not None else np.random.default_rng())
+            GilbertElliott(burst, make_rng(rng))
             if burst is not None
             else None
         )
@@ -91,7 +96,7 @@ class FaultyChannel:
         """Attach the simulation clock the fault windows are defined on."""
         self._now = now
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.inner, name)
 
     def attempt_delivery(
@@ -131,14 +136,14 @@ class DeliveryFaults:
     ) -> None:
         self.duplication = duplication
         self.delay = delay
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = make_rng(rng)
         self._stats = stats if stats is not None else FaultStats()
 
     def deliver(
         self,
-        sim,
+        sim: Simulator,
         dst: int,
-        frame,
+        frame: Frame,
         deliver_fn: Callable[[int, object], None],
     ) -> None:
         """Route one frame through the duplication/delay lottery."""

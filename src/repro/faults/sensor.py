@@ -14,9 +14,10 @@ real stuck-at accelerometer presents.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.faults.plan import FaultStats, SensorFault, SensorFaultKind
 from repro.sensors.accelerometer import Accelerometer
@@ -57,18 +58,21 @@ class FaultyAccelerometer:
         self._stats = stats if stats is not None else FaultStats()
         self._activated: set[int] = set()
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Everything not fault-related (spec, bias_counts,
         # mps2_to_counts...) behaves exactly like the healthy device.
         return getattr(self.inner, name)
 
-    def read_axis(self, accel_mps2, axis: int) -> np.ndarray:
+    def read_axis(self, accel_mps2: npt.ArrayLike, axis: int) -> np.ndarray:
         """Digitise one axis, then push it through the fault transforms."""
         counts = self.inner.read_axis(accel_mps2, axis)
         return self._apply(counts, axis)
 
     def read(
-        self, fx_mps2, fy_mps2, fz_mps2
+        self,
+        fx_mps2: npt.ArrayLike,
+        fy_mps2: npt.ArrayLike,
+        fz_mps2: npt.ArrayLike,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Digitise a three-axis record with faults applied per axis."""
         return (

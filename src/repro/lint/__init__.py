@@ -1,0 +1,47 @@
+"""``repro.lint`` — the determinism-and-correctness static-analysis gate.
+
+The repo's headline guarantee — bit-identical equivalence between the
+reference and fleet/streaming engines, seedable fault injection, and
+reproducible paper tables — rests on a handful of coding invariants
+(seeded RNG plumbing, no wall-clock reads in simulation code, no bare
+``assert`` in library paths).  This package turns those conventions
+into tooling: an AST-based rule engine with a CLI
+
+.. code-block:: console
+
+    python -m repro.lint src benchmarks
+
+a pluggable rule registry (:mod:`repro.lint.rules`), per-line
+suppression comments (``# lint: ignore[RULE-ID]``) and both human and
+machine-readable output.  See CONTRIBUTING.md for the workflow and
+DESIGN.md for the invariants each rule enforces.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+# Importing the rules package registers the built-in rule set.
+from repro.lint import rules as _rules  # noqa: F401  # lint: ignore[IMP001]
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,82 @@
+"""Shared AST helpers for lint rules: import resolution and literals."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "build_import_map",
+    "is_float_literal",
+    "is_set_like",
+    "qualified_name",
+]
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted import path they are bound to.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng`` maps ``default_rng -> numpy.random.default_rng``.
+    Plain ``import a.b.c`` binds the root package name ``a -> a``.
+    Relative imports keep their leading dots so callers can still
+    pattern-match on the suffix.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{module}.{alias.name}" if module else alias.name
+    return mapping
+
+
+def qualified_name(
+    node: ast.expr, imports: dict[str, str]
+) -> str | None:
+    """Resolve an attribute chain to a dotted path via the import map.
+
+    Returns ``None`` when the chain does not bottom out in an imported
+    name (e.g. a local variable), which keeps the rules from guessing
+    about runtime objects they cannot see.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def is_float_literal(node: ast.expr) -> bool:
+    """A float constant, possibly behind a unary ``+``/``-``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def is_set_like(node: ast.expr) -> bool:
+    """An expression whose iteration order is hash-dependent."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )

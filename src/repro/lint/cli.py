@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro.lint <paths>``.
+
+Exit status: 0 when no unsuppressed findings, 1 when violations were
+reported, 2 on usage errors.  ``--format json`` emits a single JSON
+document for tooling; the default text format is one finding per line
+(``path:line:col: RULE message``) plus a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import TextIO
+
+from repro.lint.core import Finding, Rule, all_rules, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism-and-correctness static analysis for the SID "
+            "reproduction (see CONTRIBUTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse to *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings waived by '# lint: ignore[...]' comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_rules(
+    select: str | None, ignore: str | None, parser: argparse.ArgumentParser
+) -> list[Rule]:
+    rules = all_rules()
+    known = {r.rule_id for r in rules}
+
+    def parse_ids(raw: str, flag: str) -> set[str]:
+        ids = {part.strip() for part in raw.split(",") if part.strip()}
+        unknown = ids - known
+        if unknown:
+            parser.error(
+                f"{flag}: unknown rule id(s) {', '.join(sorted(unknown))}"
+            )
+        return ids
+
+    if select is not None:
+        wanted = parse_ids(select, "--select")
+        rules = [r for r in rules if r.rule_id in wanted]
+    if ignore is not None:
+        dropped = parse_ids(ignore, "--ignore")
+        rules = [r for r in rules if r.rule_id not in dropped]
+    return rules
+
+
+def _emit_text(
+    findings: Sequence[Finding],
+    show_suppressed: bool,
+    out: TextIO | None = None,
+) -> None:
+    out = out if out is not None else sys.stdout
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    shown = findings if show_suppressed else active
+    for f in shown:
+        print(f.format(), file=out)
+    summary = f"{len(active)} finding(s)"
+    if suppressed:
+        summary += f", {len(suppressed)} suppressed"
+    print(summary, file=out)
+
+
+def _emit_json(
+    findings: Sequence[Finding], out: TextIO | None = None
+) -> None:
+    out = out if out is not None else sys.stdout
+    active = sum(1 for f in findings if not f.suppressed)
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "active": active,
+            "suppressed": len(findings) - active,
+        },
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.lint src)")
+
+    rules = _resolve_rules(args.select, args.ignore, parser)
+    findings = lint_paths(args.paths, rules=rules)
+
+    if args.format == "json":
+        _emit_json(findings)
+    else:
+        _emit_text(findings, show_suppressed=args.show_suppressed)
+
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""Rule engine for the ``repro.lint`` static-analysis gate.
+
+The engine is deliberately small: a rule is a class with an ``id``, a
+one-line summary and a ``check`` method that walks a parsed module and
+yields :class:`Finding` objects.  Rules register themselves into a
+module-level registry via the :func:`register_rule` decorator so the
+CLI (and the tests) can enumerate them without a hand-maintained list.
+
+Suppression model: a finding on line *N* is suppressed when line *N*
+carries a ``# lint: ignore[RULE-ID]`` comment naming its rule (or a
+bare ``# lint: ignore`` which silences every rule on that line).
+Suppressed findings are still produced — marked ``suppressed=True`` —
+so tooling can audit how many waivers a file has accumulated.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+#: Pseudo-rule id attached to findings produced by unparsable files.
+PARSE_ERROR_ID = "PARSE000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """Human-readable one-liner (``path:line:col: ID message``)."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}{tag}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form for ``--format json`` output."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = tuple(self.source.splitlines())
+
+    # -- path taxonomy -------------------------------------------------
+    @property
+    def posix_path(self) -> PurePosixPath:
+        """The path with forward slashes, for part-wise classification."""
+        return PurePosixPath(str(self.path).replace("\\", "/"))
+
+    @property
+    def is_test_code(self) -> bool:
+        """Pytest-collected code: test modules, conftest, tests/ trees.
+
+        Benchmarks are pytest suites too (``test_bench_*.py``), so they
+        classify as test code through the filename convention.
+        """
+        p = self.posix_path
+        name = p.name
+        return (
+            "tests" in p.parts
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    @property
+    def is_library_code(self) -> bool:
+        """Shipped package code — the strict determinism rules apply."""
+        return not self.is_test_code
+
+    @property
+    def is_rng_module(self) -> bool:
+        """``repro/rng.py`` itself — the one place global RNG may live."""
+        p = self.posix_path
+        return p.name == "rng.py" and "repro" in p.parts
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement
+    :meth:`check`; they may narrow :meth:`applies_to` to scope the rule
+    to library or test code.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path-level scope)."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Yield findings for the module in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by id for deterministic output."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look a rule up by id, raising ``KeyError`` with the known ids."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def _suppressions_for_line(line: str) -> frozenset[str] | None:
+    """Rule ids waived on ``line``; empty set means *all* rules."""
+    m = _SUPPRESS_RE.search(line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], lines: Sequence[str]
+) -> list[Finding]:
+    out: list[Finding] = []
+    for f in findings:
+        if 1 <= f.line <= len(lines):
+            waived = _suppressions_for_line(lines[f.line - 1])
+            if waived is not None and (not waived or f.rule_id in waived):
+                f = replace(f, suppressed=True)
+        out.append(f)
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint ``source`` as if it lived at ``path``.
+
+    Returns every finding, including suppressed ones; callers filter on
+    ``Finding.suppressed`` to decide the exit status.  Unparsable input
+    yields a single ``PARSE000`` finding rather than raising, so one
+    broken file cannot hide the rest of a batch.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=path, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return _apply_suppressions(findings, ctx.lines)
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one file on disk (see :func:`lint_source`)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            collected.extend(sorted(p.rglob("*.py")))
+        else:
+            collected.append(p)
+    for p in collected:
+        if p not in seen:
+            seen.add(p)
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint every Python file reachable from ``paths``."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file, rules=rules))
+    return findings

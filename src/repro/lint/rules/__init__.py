@@ -1,0 +1,33 @@
+"""Built-in rule set for :mod:`repro.lint`.
+
+Importing this package registers every rule module with the engine's
+registry; adding a new rule means adding a module here and importing
+it below.  Rule ids are grouped by family:
+
+- ``RNG``    — seeded-randomness discipline (DESIGN.md determinism);
+- ``DET``    — other nondeterminism sources (wall clock, set order);
+- ``LIB``    — library robustness (bare assert, mutable defaults);
+- ``NUM``    — floating-point hygiene;
+- ``EXP``    — export-surface consistency (``__all__``);
+- ``IMP``    — import hygiene.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    exports,
+    imports,
+    numerics,
+    rng_discipline,
+    robustness,
+)
+
+__all__ = [
+    "determinism",
+    "exports",
+    "imports",
+    "numerics",
+    "rng_discipline",
+    "robustness",
+]

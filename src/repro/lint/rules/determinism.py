@@ -1,0 +1,123 @@
+"""Nondeterminism rules beyond RNG discipline.
+
+Simulation outputs must be a pure function of the scenario seed: no
+wall-clock or OS-entropy reads (DET001), and no iteration over
+hash-ordered sets where the visit order can leak into results
+(DET002).  Monotonic timers (``time.perf_counter`` and friends) stay
+legal — they measure the *run*, never feed the *simulation*.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint._util import build_import_map, is_set_like, qualified_name
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Exact dotted paths whose call injects wall-clock time or OS entropy.
+_BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Dotted-path prefixes that are banned wholesale.
+_BANNED_PREFIXES = ("secrets.",)
+
+#: Builtins that materialise their argument in iteration order.
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "enumerate"})
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET001: no wall-clock / OS-entropy reads."""
+
+    rule_id = "DET001"
+    summary = (
+        "wall-clock or OS-entropy read; use the simulation clock, or "
+        "time.perf_counter for run-time measurement"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, imports)
+            if qual is None:
+                continue
+            if qual in _BANNED_CALLS or qual.startswith(_BANNED_PREFIXES):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qual}() injects nondeterminism; simulation state "
+                    "must derive from the scenario seed (use "
+                    "time.perf_counter only to measure run time)",
+                )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """DET002: no ordered consumption of hash-ordered sets.
+
+    ``for x in set(...)`` and ``list({...})`` visit elements in
+    hash-seed order, so any serialized output built that way varies
+    between interpreter runs.  Wrap the set in ``sorted(...)`` to fix
+    an order.  Membership tests (``x in {...}``) stay legal — they are
+    order-free.
+    """
+
+    rule_id = "DET002"
+    summary = "iteration over a set has hash-dependent order; use sorted(...)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and is_set_like(node.iter):
+                yield self._flag(ctx, node.iter, "for-loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if is_set_like(gen.iter):
+                        yield self._flag(ctx, gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: LintContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_BUILTINS
+            and node.args
+            and is_set_like(node.args[0])
+        ):
+            yield self._flag(ctx, node.args[0], f"{func.id}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+            and is_set_like(node.args[0])
+        ):
+            yield self._flag(ctx, node.args[0], "str.join()")
+
+    def _flag(
+        self, ctx: LintContext, node: ast.expr, where: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"set consumed in {where} has hash-dependent order; "
+            "wrap in sorted(...) to pin it",
+        )

@@ -1,0 +1,134 @@
+"""Export-surface consistency: ``__all__`` must match reality."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+
+def _module_bindings(body: list[ast.stmt]) -> tuple[set[str], bool]:
+    """Names bound at module level, plus whether a ``*`` import exists.
+
+    Recurses into ``if``/``try``/``with``/``for`` blocks because
+    ``TYPE_CHECKING`` guards and import fallbacks bind names too.
+    """
+    names: set[str] = set()
+    has_star = False
+
+    def visit_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                visit_target(elt)
+        elif isinstance(target, ast.Starred):
+            visit_target(target.value)
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        nonlocal has_star
+        for node in stmts:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    visit_target(target)
+            elif isinstance(node, ast.AnnAssign):
+                visit_target(node.target)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+                for handler in node.handlers:
+                    visit(handler.body)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                visit(node.body)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                visit_target(node.target)
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.While):
+                visit(node.body)
+                visit(node.orelse)
+
+    visit(body)
+    return names, has_star
+
+
+@register_rule
+class DunderAllRule(Rule):
+    """EXP001: every ``__all__`` entry must name an actual binding.
+
+    A stale ``__all__`` turns ``from repro.x import *`` into an
+    ``ImportError`` and lies to API docs.  Duplicate entries are
+    flagged too.  Modules with a ``*`` import are skipped — their
+    namespace is not statically knowable.
+    """
+
+    rule_id = "EXP001"
+    summary = "__all__ names a missing binding (or repeats one)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        bindings, has_star = _module_bindings(ctx.tree.body)
+        if has_star:
+            return
+        for node in ctx.tree.body:
+            value = self._dunder_all_value(node)
+            if value is None:
+                continue
+            seen: set[str] = set()
+            for elt in value.elts:
+                if not (
+                    isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                ):
+                    continue
+                name = elt.value
+                if name in seen:
+                    yield self.finding(
+                        ctx, elt, f"duplicate __all__ entry {name!r}"
+                    )
+                seen.add(name)
+                if name not in bindings:
+                    yield self.finding(
+                        ctx,
+                        elt,
+                        f"__all__ exports {name!r} but the module never "
+                        "binds it",
+                    )
+
+    @staticmethod
+    def _dunder_all_value(node: ast.stmt) -> ast.List | ast.Tuple | None:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    return value
+        return None

@@ -1,0 +1,103 @@
+"""Import hygiene: flag imports nothing in the module uses."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+
+def _names_in_annotation_string(value: str) -> set[str]:
+    """Identifier roots of a quoted annotation like ``"Foo | None"``."""
+    try:
+        expr = ast.parse(value, mode="eval")
+    except SyntaxError:
+        return set()
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _annotation_nodes(tree: ast.Module) -> Iterator[ast.expr]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                yield node.returns
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            yield node.annotation
+        elif isinstance(node, ast.AnnAssign):
+            yield node.annotation
+
+
+def _collect_used_names(tree: ast.Module) -> set[str]:
+    """Every identifier the module can reference an import through.
+
+    Includes plain names (attribute chains bottom out in an
+    ``ast.Name``), string entries of ``__all__``-style lists (the
+    re-export idiom) and identifiers inside quoted annotations
+    (``x: "np.ndarray | None"``).
+    """
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries and plain "module.attr" forward refs.
+            token = node.value.split(".", 1)[0].strip()
+            if token.isidentifier():
+                used.add(token)
+    for annotation in _annotation_nodes(tree):
+        for inner in ast.walk(annotation):
+            if isinstance(inner, ast.Constant) and isinstance(
+                inner.value, str
+            ):
+                used.update(_names_in_annotation_string(inner.value))
+    return used
+
+
+@register_rule
+class UnusedImportRule(Rule):
+    """IMP001: imported name is never referenced.
+
+    ``__init__.py`` files are exempt — there, imports *are* the export
+    surface.  An alias starting with an underscore is treated as a
+    deliberate side-effect import and also exempt.
+    """
+
+    rule_id = "IMP001"
+    summary = "imported name is never used"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.posix_path.name != "__init__.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        used = _collect_used_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    if self._is_unused(local, used):
+                        yield self._flag(ctx, node, alias.name, local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if self._is_unused(local, used):
+                        yield self._flag(ctx, node, alias.name, local)
+
+    @staticmethod
+    def _is_unused(local: str, used: set[str]) -> bool:
+        return not local.startswith("_") and local not in used
+
+    def _flag(
+        self, ctx: LintContext, node: ast.stmt, imported: str, local: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"{imported!r} (bound as {local!r}) is imported but never "
+            "used; drop it or alias it with a leading underscore for a "
+            "side-effect import",
+        )

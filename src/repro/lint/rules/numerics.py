@@ -1,0 +1,44 @@
+"""Floating-point hygiene rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint._util import is_float_literal
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """NUM001: no ``==`` / ``!=`` against float literals.
+
+    Exact float comparison is almost always a rounding bug waiting to
+    happen.  Where an *exact* sentinel comparison is intended (``x ==
+    0.0`` guarding a division, a multiplier that is bit-exactly 1.0 by
+    construction), suppress with ``# lint: ignore[NUM001]`` and a
+    justifying comment — the waiver is the documentation.
+    """
+
+    rule_id = "NUM001"
+    summary = "float literal compared with == / !=; use a tolerance"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if is_float_literal(operands[i]) or is_float_literal(
+                    operands[i + 1]
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float comparison; use math.isclose / "
+                        "np.isclose, or suppress with a justified "
+                        "'# lint: ignore[NUM001]' for sentinel values",
+                    )
+                    break

@@ -1,0 +1,114 @@
+"""RNG discipline rules.
+
+Every stochastic draw in this codebase must flow from a
+:class:`numpy.random.Generator` threaded through :mod:`repro.rng`.
+Global entropy (``np.random.*`` module functions, the stdlib
+``random`` module) breaks the seed-to-output contract the equivalence
+suites rely on, and a hard-coded seed buried inside library code makes
+a component *look* stochastic while silently pinning its draws.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint._util import build_import_map, qualified_name
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Deterministic constructors living under ``numpy.random`` that are
+#: legitimate everywhere (types and bit generators, not entropy draws).
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: ``repro.rng`` coercion helpers whose *literal-seed* use RNG002 flags.
+_RNG_FACTORIES = frozenset({"make_rng", "derive_rng"})
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """RNG001: no global RNG calls outside ``repro/rng.py``."""
+
+    rule_id = "RNG001"
+    summary = (
+        "global RNG call (np.random.* / random.*); thread a seeded "
+        "np.random.Generator through repro.rng instead"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # rng.py is the single sanctioned owner of default_rng().
+        return not ctx.is_rng_module
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, imports)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                leaf = qual.rsplit(".", 1)[1]
+                if leaf not in _ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to {qual} bypasses seeded-RNG plumbing; "
+                        "use repro.rng.make_rng / an injected Generator",
+                    )
+            elif qual == "random" or qual.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib random call {qual} is unseedable per-component; "
+                    "use repro.rng.make_rng / an injected Generator",
+                )
+
+
+@register_rule
+class HardcodedSeedRule(Rule):
+    """RNG002: no literal seeds baked into library code.
+
+    ``make_rng(42)`` inside the package pins a component's draws no
+    matter what the caller seeded the scenario with.  Literal seeds
+    belong in experiment drivers, benchmarks and tests — library code
+    must accept the seed (or Generator) from its caller.
+    """
+
+    rule_id = "RNG002"
+    summary = "hard-coded integer seed in library code"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.is_library_code
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            qual = qualified_name(node.func, imports)
+            if qual is None:
+                continue
+            leaf = qual.rsplit(".", 1)[-1]
+            if leaf not in _RNG_FACTORIES and qual != "numpy.random.default_rng":
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, int
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{leaf}({first.value!r}) pins this component's draws; "
+                    "accept the seed/Generator from the caller",
+                )

@@ -1,0 +1,84 @@
+"""Library-robustness rules: bare asserts and mutable defaults."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Constructor calls whose result is shared across calls when used as
+#: a default argument.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@register_rule
+class BareAssertRule(Rule):
+    """LIB001: no ``assert`` in library code.
+
+    ``python -O`` strips assert statements, so an invariant guarded by
+    one silently vanishes in optimised runs — exactly what the
+    ``process_window`` fix in PR 3 was about.  Library invariants must
+    raise :class:`repro.errors.InternalError` (or ``ValueError`` for
+    caller mistakes).  Test code is exempt: pytest asserts are the
+    point there.
+    """
+
+    rule_id = "LIB001"
+    summary = (
+        "bare assert in library code is stripped under python -O; "
+        "raise repro.errors.InternalError instead"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.is_library_code
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "assert is stripped under python -O; raise "
+                    "InternalError (invariant) or ValueError (caller "
+                    "input) from repro.errors",
+                )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """LIB002: no mutable default argument values."""
+
+    rule_id = "LIB002"
+    summary = "mutable default argument is shared across calls"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            "mutable default is evaluated once and shared "
+                            "across calls; default to None (or a tuple) "
+                            "and build the container in the body",
+                        )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InternalError
 from repro.network.channel import Channel
 from repro.network.messages import Frame
 from repro.network.simulator import Simulator
@@ -134,7 +134,8 @@ class Mac:
             self.sim.schedule(airtime, on_delivered, frame)
             return
 
-        assert dst_pos is not None, "unicast needs the destination position"
+        if dst_pos is None:
+            raise InternalError("unicast needs the destination position")
         delivered = (not collided) and self.channel.attempt_delivery(
             frame.src, frame.dst, src_pos, dst_pos
         )

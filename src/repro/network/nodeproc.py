@@ -12,9 +12,10 @@ back into SID callbacks.  :class:`SinkNode` feeds the detection-layer
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.detection.sid import (
     CancelClusterAction,
@@ -25,6 +26,7 @@ from repro.detection.sid import (
     SetupClusterAction,
 )
 from repro.detection.cluster import partition_static_clusters
+from repro.detection.reports import NodeReport
 from repro.detection.sink import Sink
 from repro.errors import ConfigurationError
 from repro.network.channel import Channel
@@ -145,7 +147,7 @@ class NetworkNode:
     # ------------------------------------------------------------------
     # Detection-side entry points
     # ------------------------------------------------------------------
-    def feed_window(self, a_window, t0: float) -> None:
+    def feed_window(self, a_window: np.ndarray, t0: float) -> None:
         """Process one preprocessed sample window at its end time."""
         if not self.alive:
             return
@@ -158,7 +160,11 @@ class NetworkNode:
         self._dispatch(self.sid.on_timer(self.network.sim.now))
 
     def feed_outcome(
-        self, report, n_samples: int, t0: float, initialized: bool = True
+        self,
+        report: Optional[NodeReport],
+        n_samples: int,
+        t0: float,
+        initialized: bool = True,
     ) -> None:
         """Replay one precomputed window outcome at its end time.
 
@@ -239,7 +245,7 @@ class NetworkNode:
     def _send_reliable(
         self,
         dst: int,
-        payload,
+        payload: object,
         attempt: int = 0,
         first_try_at: Optional[float] = None,
     ) -> None:
@@ -257,7 +263,7 @@ class NetworkNode:
             self.network.sim.now if first_try_at is None else first_try_at
         )
 
-        def on_failed(_frame) -> None:
+        def on_failed(_frame: Frame) -> None:
             self._retry_reliable(dst, payload, attempt, first_at)
 
         self.network.unicast(
@@ -266,7 +272,7 @@ class NetworkNode:
 
     def _send_sink_reliable(
         self,
-        payload,
+        payload: object,
         attempt: int = 0,
         first_try_at: Optional[float] = None,
     ) -> None:
@@ -279,7 +285,7 @@ class NetworkNode:
             self.network.sim.now if first_try_at is None else first_try_at
         )
 
-        def on_failed(_frame) -> None:
+        def on_failed(_frame: Frame) -> None:
             self._retry_reliable(None, payload, attempt, first_at)
 
         self.network.send_to_sink(
@@ -287,7 +293,11 @@ class NetworkNode:
         )
 
     def _retry_reliable(
-        self, dst: Optional[int], payload, attempt: int, first_try_at: float
+        self,
+        dst: Optional[int],
+        payload: object,
+        attempt: int,
+        first_try_at: float,
     ) -> None:
         policy = self.network.retransmit
         stats = self.network.resilience
@@ -492,7 +502,7 @@ class SensorNetwork:
             return True
         return node.battery.draw_tx(frame.size_bytes)
 
-    def broadcast(self, src: int, payload) -> None:
+    def broadcast(self, src: int, payload: object) -> None:
         """Link-local broadcast: every neighbour draws its own link."""
         frame = Frame(src=src, dst=BROADCAST, payload=payload)
         if not self._bill_tx(src, frame):
@@ -515,7 +525,13 @@ class SensorNetwork:
             on_delivered=fan_out,
         )
 
-    def unicast(self, src: int, dst: int, payload, on_failed=None) -> None:
+    def unicast(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        on_failed: Optional[Callable[[Frame], None]] = None,
+    ) -> None:
         """One-hop-at-a-time unicast along the shortest path to ``dst``.
 
         ``on_failed`` (optional) fires when the first hop exhausts its
@@ -544,7 +560,12 @@ class SensorNetwork:
             on_failed=on_failed,
         )
 
-    def send_to_sink(self, src: int, payload, on_failed=None) -> None:
+    def send_to_sink(
+        self,
+        src: int,
+        payload: object,
+        on_failed: Optional[Callable[[Frame], None]] = None,
+    ) -> None:
         """Forward toward the sink via the routing tree."""
         next_hop = self.routing.next_hop(src)
         if next_hop is None:

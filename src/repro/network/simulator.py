@@ -27,7 +27,9 @@ class Event:
 
     __slots__ = ("time", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, fn: Callable[..., Any], args: tuple
+    ) -> None:
         self.time = time
         self.fn = fn
         self.args = args

@@ -15,7 +15,7 @@ differences, so :mod:`repro.detection.speed`'s error band inherits them.
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InternalError
 from repro.network.routing import RoutingTable
 from repro.rng import RandomState, make_rng
 from repro.sensors.clock import Clock
@@ -56,7 +56,10 @@ class TimeSyncProtocol:
             if node == self.routing.sink_id:
                 continue
             parent = self.routing.next_hop(node)
-            assert parent is not None
+            if parent is None:
+                raise InternalError(
+                    f"connected node {node} has no route to the sink"
+                )
             hop_error = float(
                 self._rng.normal(0.0, self.per_hop_residual_s)
             )

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.constants import BUOY_DRIFT_RADIUS_M, GRAVITY
 from repro.errors import ConfigurationError
@@ -150,7 +151,7 @@ class Buoy:
     # ------------------------------------------------------------------
     # Position
     # ------------------------------------------------------------------
-    def drift_offsets(self, t) -> tuple[np.ndarray, np.ndarray]:
+    def drift_offsets(self, t: npt.ArrayLike) -> tuple[np.ndarray, np.ndarray]:
         """Mooring offsets (dx, dy) [m], clipped to the drift radius."""
         dx = self._drift_x(t)
         dy = self._drift_y(t)
@@ -173,7 +174,7 @@ class Buoy:
     # ------------------------------------------------------------------
     # Sensed accelerations
     # ------------------------------------------------------------------
-    def heave_gain(self, frequency_hz) -> np.ndarray:
+    def heave_gain(self, frequency_hz: npt.ArrayLike) -> np.ndarray:
         """Mechanical heave response magnitude at ``frequency_hz``.
 
         A small buoy follows long waves perfectly but cannot follow
@@ -188,14 +189,14 @@ class Buoy:
             1.0 + (f / self.heave_corner_hz) ** (2 * self.heave_order)
         )
 
-    def tilt_angles(self, t) -> tuple[np.ndarray, np.ndarray]:
+    def tilt_angles(self, t: npt.ArrayLike) -> tuple[np.ndarray, np.ndarray]:
         """Rocking angles about the x and y axes [rad]."""
         return self._tilt_x(t), self._tilt_y(t)
 
     def specific_force(
         self,
-        t,
-        vertical_accel,
+        t: npt.ArrayLike,
+        vertical_accel: npt.ArrayLike,
         horizontal_accel: tuple | None = None,
     ) -> BuoyMotion:
         """Project sea-surface motion into body-frame specific force.

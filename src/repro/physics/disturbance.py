@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.rng import RandomState, make_rng
@@ -25,7 +26,7 @@ from repro.types import TimeWindow
 class Disturbance(Protocol):
     """Anything that injects vertical acceleration at one buoy."""
 
-    def vertical_acceleration(self, t) -> np.ndarray:
+    def vertical_acceleration(self, t: npt.ArrayLike) -> np.ndarray:
         """Contribution [m/s^2] at times ``t``."""
         ...
 
@@ -61,7 +62,7 @@ class FishBump:
     def window(self) -> TimeWindow:
         return TimeWindow(self.time, self.time + self.duration)
 
-    def vertical_acceleration(self, t) -> np.ndarray:
+    def vertical_acceleration(self, t: npt.ArrayLike) -> np.ndarray:
         t = np.atleast_1d(np.asarray(t, dtype=float))
         tau = t - self.time
         inside = (tau >= 0.0) & (tau <= self.duration)
@@ -96,7 +97,7 @@ class BirdStrike:
         # The exponential tail is negligible after five time constants.
         return TimeWindow(self.time, self.time + 5.0 * self.decay_s)
 
-    def vertical_acceleration(self, t) -> np.ndarray:
+    def vertical_acceleration(self, t: npt.ArrayLike) -> np.ndarray:
         t = np.atleast_1d(np.asarray(t, dtype=float))
         tau = t - self.time
         inside = (tau >= 0.0) & (tau <= 5.0 * self.decay_s)
@@ -148,7 +149,7 @@ class WindGust:
     def window(self) -> TimeWindow:
         return TimeWindow(self.start, self.start + self.duration)
 
-    def vertical_acceleration(self, t) -> np.ndarray:
+    def vertical_acceleration(self, t: npt.ArrayLike) -> np.ndarray:
         t = np.atleast_1d(np.asarray(t, dtype=float))
         tau = t - self.start
         inside = (tau >= 0.0) & (tau <= self.duration)
@@ -165,7 +166,7 @@ class WindGust:
         return out
 
 
-def render_disturbances(disturbances: Iterable[Disturbance], t) -> np.ndarray:
+def render_disturbances(disturbances: Iterable[Disturbance], t: npt.ArrayLike) -> np.ndarray:
     """Sum the vertical-acceleration contributions of many disturbances."""
     t = np.atleast_1d(np.asarray(t, dtype=float))
     total = np.zeros_like(t)

@@ -17,6 +17,7 @@ from enum import Enum
 from typing import Protocol, runtime_checkable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.constants import GRAVITY
 from repro.errors import ConfigurationError
@@ -36,7 +37,7 @@ class WaveSpectrum(Protocol):
         ...
 
 
-def _as_positive_array(frequency_hz) -> np.ndarray:
+def _as_positive_array(frequency_hz: npt.ArrayLike) -> np.ndarray:
     f = np.asarray(frequency_hz, dtype=float)
     if np.any(f < 0):
         raise ConfigurationError("frequencies must be non-negative")
@@ -68,7 +69,7 @@ class PiersonMoskowitzSpectrum:
     def peak_frequency_hz(self) -> float:
         return 0.877 * GRAVITY / (2.0 * math.pi * self.wind_speed_mps)
 
-    def density(self, frequency_hz) -> np.ndarray:
+    def density(self, frequency_hz: npt.ArrayLike) -> np.ndarray:
         f = _as_positive_array(frequency_hz)
         fp = self.peak_frequency_hz
         out = np.zeros_like(f)
@@ -124,7 +125,7 @@ class JONSWAPSpectrum:
         x = GRAVITY * self.fetch_m / (u * u)
         return 0.076 * x**-0.22
 
-    def density(self, frequency_hz) -> np.ndarray:
+    def density(self, frequency_hz: npt.ArrayLike) -> np.ndarray:
         f = _as_positive_array(frequency_hz)
         fp = self.peak_frequency_hz
         out = np.zeros_like(f)

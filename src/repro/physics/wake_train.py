@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.physics.kelvin import KelvinWake
@@ -110,7 +111,7 @@ class WakeTrain:
         ddenv = np.where(inside, 0.5 * w * w * np.cos(w * tau), 0.0)
         return env, denv, ddenv, inside
 
-    def elevation(self, t) -> np.ndarray:
+    def elevation(self, t: npt.ArrayLike) -> np.ndarray:
         """Surface elevation contribution [m] at times ``t``."""
         t = np.atleast_1d(np.asarray(t, dtype=float))
         tau = t - self.arrival_time
@@ -120,7 +121,7 @@ class WakeTrain:
         phase = omega * tau + 0.5 * chi * tau * tau
         return self.amplitude * env * np.cos(phase)
 
-    def vertical_acceleration(self, t) -> np.ndarray:
+    def vertical_acceleration(self, t: npt.ArrayLike) -> np.ndarray:
         """Exact second time derivative of :meth:`elevation` [m/s^2]."""
         t = np.atleast_1d(np.asarray(t, dtype=float))
         tau = t - self.arrival_time

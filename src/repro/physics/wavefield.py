@@ -16,15 +16,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.physics.airy import wavenumber_from_omega
 from repro.physics.spectrum import WaveSpectrum
 from repro.rng import RandomState, make_rng
 from repro.types import Position
+
+#: Per-component frequency response: maps component frequencies [Hz]
+#: to gains (e.g. a buoy's mechanical heave response).
+FrequencyResponse = Callable[[np.ndarray], npt.ArrayLike]
 
 
 @dataclass(frozen=True)
@@ -160,13 +165,16 @@ class AmbientWaveField:
         )
         return (spatial + self._phase)[:, None] - self._omega[:, None] * t[None, :]
 
-    def elevation(self, position: Position, t) -> np.ndarray:
+    def elevation(self, position: Position, t: npt.ArrayLike) -> np.ndarray:
         """Surface elevation [m] at ``position`` for time array ``t`` [s]."""
         ph = self._phases_at(position, t)
         return np.asarray(self._amp @ np.cos(ph))
 
     def vertical_acceleration(
-        self, position: Position, t, response=None
+        self,
+        position: Position,
+        t: npt.ArrayLike,
+        response: FrequencyResponse | None = None,
     ) -> np.ndarray:
         """Surface vertical acceleration [m/s^2] at ``position`` over ``t``.
 
@@ -198,7 +206,7 @@ class AmbientWaveField:
     # ``cos(w t)`` / ``sin(w t)`` matrices: each node then costs only two
     # weight vectors and the final GEMM contracts every node at once.
 
-    def _batch_trig(self, t) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _batch_trig(self, t: npt.ArrayLike) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Shared ``cos(w t)``/``sin(w t)`` matrices, (components, len(t))."""
         t = np.atleast_1d(np.asarray(t, dtype=float))
         arg = self._omega[:, None] * t[None, :]
@@ -213,7 +221,10 @@ class AmbientWaveField:
         return xs[:, None] * kx[None, :] + ys[:, None] * ky[None, :] + self._phase[None, :]
 
     def _batch_weights(
-        self, n_positions: int, base: np.ndarray, responses
+        self,
+        n_positions: int,
+        base: np.ndarray,
+        responses: FrequencyResponse | Sequence[FrequencyResponse | None] | None,
     ) -> np.ndarray:
         """Per-position component weights, shape (P, components)."""
         if responses is None:
@@ -236,7 +247,9 @@ class AmbientWaveField:
                 out[i] = base * np.asarray(response(freqs), dtype=float)
         return out
 
-    def elevation_batch(self, positions: Sequence[Position], t) -> np.ndarray:
+    def elevation_batch(
+        self, positions: Sequence[Position], t: npt.ArrayLike
+    ) -> np.ndarray:
         """Surface elevation [m] at every position; shape (P, len(t))."""
         cos_wt, sin_wt, _ = self._batch_trig(t)
         a = self._spatial_phases(positions)
@@ -244,7 +257,10 @@ class AmbientWaveField:
         return (w * np.cos(a)) @ cos_wt + (w * np.sin(a)) @ sin_wt
 
     def vertical_acceleration_batch(
-        self, positions: Sequence[Position], t, responses=None
+        self,
+        positions: Sequence[Position],
+        t: npt.ArrayLike,
+        responses: FrequencyResponse | Sequence[FrequencyResponse | None] | None = None,
     ) -> np.ndarray:
         """Vertical acceleration [m/s^2] at every position; (P, len(t)).
 
@@ -262,7 +278,7 @@ class AmbientWaveField:
         return -((w * np.cos(a)) @ cos_wt + (w * np.sin(a)) @ sin_wt)
 
     def horizontal_acceleration_batch(
-        self, positions: Sequence[Position], t
+        self, positions: Sequence[Position], t: npt.ArrayLike
     ) -> tuple[np.ndarray, np.ndarray]:
         """Horizontal acceleration components at every position.
 
@@ -283,7 +299,7 @@ class AmbientWaveField:
         return ax, ay
 
     def horizontal_acceleration(
-        self, position: Position, t
+        self, position: Position, t: npt.ArrayLike
     ) -> tuple[np.ndarray, np.ndarray]:
         """Surface horizontal particle acceleration components [m/s^2].
 

@@ -10,11 +10,12 @@ so on, without the components ever sharing (and thus coupling) a stream.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Union
 
 import numpy as np
 
-RandomState = Union[int, np.random.Generator, None]
+#: Anything the library coerces into a Generator: an explicit seed, an
+#: existing generator (passed through), or None (nondeterministic).
+RandomState = int | np.random.Generator | None
 
 
 def make_rng(seed: RandomState = None) -> np.random.Generator:
@@ -58,8 +59,8 @@ def derive_rng(seed: RandomState, stream: str) -> np.random.Generator:
 
 
 def optional_jitter(
-    rng: np.random.Generator, scale: float, size: Optional[int] = None
-):
+    rng: np.random.Generator, scale: float, size: int | None = None
+) -> float | np.ndarray:
     """Zero-mean gaussian jitter helper; ``scale <= 0`` returns zeros."""
     if scale <= 0.0:
         return 0.0 if size is None else np.zeros(size)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.detection.cluster import (
     ClusterEvent,
@@ -47,11 +47,14 @@ from repro.network.nodeproc import RetransmitPolicy, SensorNetwork
 from repro.physics.disturbance import Disturbance
 from repro.rng import RandomState, derive_rng, make_rng
 import numpy as np
-from repro.scenario.deployment import GridDeployment
+from repro.scenario.deployment import DeployedNode, GridDeployment
 from repro.sensors.accelerometer import Accelerometer
 from repro.scenario.ship import ShipTrack
 from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
 from repro.types import AccelTrace, TimeWindow
+
+if TYPE_CHECKING:
+    from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
 
 
 # ----------------------------------------------------------------------
@@ -543,7 +546,7 @@ def run_network_scenario(
         synth.t0 + synth.duration_s + 2 * cfg.cluster.collection_timeout_s
     )
 
-    def _resync(node) -> None:
+    def _resync(node: DeployedNode) -> None:
         proc = network.nodes.get(node.node_id)
         if proc is not None and not proc.alive:
             return
@@ -620,7 +623,7 @@ def _dutycycled_fleet_reports(
     det_cfg: NodeDetectorConfig,
     coarse_cfg: NodeDetectorConfig,
     decimation: int,
-    controller,
+    controller: "DutyCycleController",
 ) -> tuple[dict[int, list[NodeReport]], Optional[float]] | None:
     """Group-vectorized duty-cycled walk (one fleet step per window).
 
@@ -734,7 +737,7 @@ def run_dutycycled_scenario(
     """
     from dataclasses import replace
 
-    from repro.detection.dutycycle import DutyCycleConfig, DutyCycleController
+    from repro.detection.dutycycle import DutyCycleController
 
     if detection_engine not in ("fleet", "reference"):
         raise ConfigurationError(

@@ -32,7 +32,7 @@ from repro.physics.wavefield import AmbientWaveField
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.scenario.deployment import DeployedNode, GridDeployment
 from repro.scenario.ship import ShipTrack
-from repro.types import AccelTrace, Position
+from repro.types import AccelTrace
 
 
 @dataclass(frozen=True)

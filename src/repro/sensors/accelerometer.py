@@ -18,6 +18,7 @@ import copy
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.constants import (
     ACCEL_COUNTS_PER_G,
@@ -69,12 +70,12 @@ class Accelerometer:
         """The device's per-axis bias [counts] (frozen at construction)."""
         return self._bias.copy()
 
-    def mps2_to_counts(self, accel_mps2) -> np.ndarray:
+    def mps2_to_counts(self, accel_mps2: npt.ArrayLike) -> np.ndarray:
         """Ideal (noise-free, unclipped, unquantised) conversion."""
         a = np.asarray(accel_mps2, dtype=float)
         return a / GRAVITY * self.spec.counts_per_g
 
-    def read_axis(self, accel_mps2, axis: int) -> np.ndarray:
+    def read_axis(self, accel_mps2: npt.ArrayLike, axis: int) -> np.ndarray:
         """Convert true specific force on one axis into raw counts.
 
         ``axis`` is 0 (x), 1 (y) or 2 (z) and selects which bias applies.
@@ -91,7 +92,12 @@ class Accelerometer:
         clipped = np.clip(noisy, -limit, limit)
         return np.rint(clipped).astype(np.int64)
 
-    def read(self, fx_mps2, fy_mps2, fz_mps2) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def read(
+        self,
+        fx_mps2: npt.ArrayLike,
+        fy_mps2: npt.ArrayLike,
+        fz_mps2: npt.ArrayLike,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Convert a three-axis specific-force record into raw counts."""
         return (
             self.read_axis(fx_mps2, 0),
@@ -102,7 +108,9 @@ class Accelerometer:
     # ------------------------------------------------------------------
     # Chunked (streaming) digitisation
     # ------------------------------------------------------------------
-    def axis_noise_rng(self, axis: int, n_samples: int):
+    def axis_noise_rng(
+        self, axis: int, n_samples: int
+    ) -> np.random.Generator:
         """A noise-stream clone positioned at ``axis``'s draws.
 
         :meth:`read` consumes x-, y- then z-noise from one stream, so
@@ -127,7 +135,12 @@ class Accelerometer:
             skip -= block
         return rng
 
-    def read_axis_chunk(self, accel_mps2, axis: int, noise_rng) -> np.ndarray:
+    def read_axis_chunk(
+        self,
+        accel_mps2: npt.ArrayLike,
+        axis: int,
+        noise_rng: np.random.Generator,
+    ) -> np.ndarray:
         """:meth:`read_axis` drawing noise from an external stream.
 
         Used with :meth:`axis_noise_rng` to digitise one axis chunk by

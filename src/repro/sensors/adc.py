@@ -8,6 +8,7 @@ the accelerometer model (and available for the board's other channels).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 
@@ -38,14 +39,14 @@ class ADC:
         """Input span of one code."""
         return self._lsb
 
-    def convert(self, volts) -> np.ndarray:
+    def convert(self, volts: npt.ArrayLike) -> np.ndarray:
         """Quantise analog values to integer codes."""
         v = np.asarray(volts, dtype=float)
         clipped = np.clip(v, self.v_min, self.v_max)
         codes = np.floor((clipped - self.v_min) / self._lsb).astype(np.int64)
         return np.clip(codes, 0, self.levels - 1)
 
-    def to_volts(self, codes) -> np.ndarray:
+    def to_volts(self, codes: npt.ArrayLike) -> np.ndarray:
         """Map codes back to bin-centre analog values."""
         c = np.asarray(codes, dtype=float)
         if np.any((c < 0) | (c > self.levels - 1)):

@@ -106,7 +106,10 @@ class Battery:
             raise ConfigurationError(f"cannot draw negative energy: {joules}")
         if self.depleted:
             return False
-        if self._drain_multiplier != 1.0:
+        # Exact sentinel: the multiplier is bit-exactly 1.0 unless a
+        # fault installed one, and the guard keeps healthy draws on the
+        # fast path without a float multiply.
+        if self._drain_multiplier != 1.0:  # lint: ignore[NUM001]
             joules *= self._drain_multiplier
         self._remaining -= joules
         self._by_category[category] = self._by_category.get(category, 0.0) + joules

@@ -1,0 +1,93 @@
+"""CLI behaviour: exit codes, selection, output formats, suppression."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+DIRTY = "def f(x):\n    assert x == 0.5\n    return x\n"
+CLEAN = "def f(x: int) -> int:\n    return x + 1\n"
+
+
+def write_pkg(tmp_path: Path, source: str) -> Path:
+    pkg = tmp_path / "src" / "repro" / "somepkg"
+    pkg.mkdir(parents=True)
+    mod = pkg / "mod.py"
+    mod.write_text(source)
+    return mod
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys) -> None:
+    write_pkg(tmp_path, CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys) -> None:
+    mod = write_pkg(tmp_path, DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "LIB001" in out and "NUM001" in out
+    assert str(mod) in out
+
+
+def test_suppressed_findings_do_not_fail(tmp_path, capsys) -> None:
+    write_pkg(
+        tmp_path,
+        "def f(x):\n    return x == 0.5  # lint: ignore[NUM001]\n",
+    )
+    assert main([str(tmp_path)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
+
+
+def test_select_restricts_rules(tmp_path, capsys) -> None:
+    write_pkg(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--select", "NUM001"]) == 1
+    out = capsys.readouterr().out
+    assert "NUM001" in out and "LIB001" not in out
+
+
+def test_ignore_drops_rules(tmp_path) -> None:
+    write_pkg(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--ignore", "LIB001,NUM001"]) == 0
+
+
+def test_unknown_rule_id_is_usage_error(tmp_path) -> None:
+    write_pkg(tmp_path, CLEAN)
+    with pytest.raises(SystemExit) as exc:
+        main([str(tmp_path), "--select", "NOPE999"])
+    assert exc.value.code == 2
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys) -> None:
+    write_pkg(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["active"] == 2
+    rules = {f["rule"] for f in doc["findings"]}
+    assert rules == {"LIB001", "NUM001"}
+    for f in doc["findings"]:
+        assert set(f) == {"rule", "path", "line", "col", "message", "suppressed"}
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RNG001", "DET001", "LIB001", "NUM001", "EXP001"):
+        assert rule_id in out
+
+
+def test_no_paths_is_usage_error() -> None:
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_parse_error_fails_the_gate(tmp_path, capsys) -> None:
+    write_pkg(tmp_path, "def f(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "PARSE000" in capsys.readouterr().out

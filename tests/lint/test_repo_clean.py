@@ -1,0 +1,42 @@
+"""The gate holds on the repository itself.
+
+``python -m repro.lint src benchmarks`` exiting 0 is an acceptance
+criterion: every determinism invariant the linter encodes is satisfied
+by the shipped tree (modulo the justified per-line waivers).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_lint(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_src_and_benchmarks_are_clean() -> None:
+    proc = _run_lint("src", "benchmarks")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_examples_are_clean() -> None:
+    if not (REPO_ROOT / "examples").is_dir():
+        return
+    proc = _run_lint("examples")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,357 @@
+"""Per-rule fixtures: one firing and one clean snippet per rule.
+
+Each case lints an in-memory source string against a synthetic path so
+the path-scoping logic (library vs test code, the ``rng.py`` carve-out)
+is exercised without touching disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import all_rules, get_rule, lint_source
+
+LIB = "src/repro/somepkg/mod.py"
+TEST = "tests/somepkg/test_mod.py"
+
+
+def ids_at(source: str, path: str = LIB) -> list[str]:
+    """Unsuppressed rule ids the snippet fires."""
+    return [f.rule_id for f in lint_source(source, path=path) if not f.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# RNG001 — global RNG calls
+# ---------------------------------------------------------------------------
+
+RNG001_FIRING = """
+import numpy as np
+import random
+
+def sample():
+    a = np.random.default_rng()
+    b = np.random.normal(0.0, 1.0)
+    c = random.random()
+    return a, b, c
+"""
+
+RNG001_CLEAN = """
+import numpy as np
+from repro.rng import make_rng
+
+def sample(rng: np.random.Generator):
+    gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence(0)))
+    return rng.normal(0.0, 1.0), make_rng(rng), gen
+"""
+
+
+def test_rng001_fires_on_global_rng() -> None:
+    assert ids_at(RNG001_FIRING).count("RNG001") == 3
+
+
+def test_rng001_clean_on_injected_generator() -> None:
+    assert "RNG001" not in ids_at(RNG001_CLEAN)
+
+
+def test_rng001_exempts_rng_module() -> None:
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert "RNG001" in ids_at(src, path=LIB)
+    assert "RNG001" not in ids_at(src, path="src/repro/rng.py")
+
+
+# ---------------------------------------------------------------------------
+# RNG002 — hard-coded seeds in library code
+# ---------------------------------------------------------------------------
+
+RNG002_FIRING = """
+from repro.rng import derive_rng, make_rng
+
+def build():
+    return make_rng(42), derive_rng(7, "noise")
+"""
+
+RNG002_CLEAN = """
+from repro.rng import RandomState, make_rng
+
+def build(seed: RandomState = None):
+    return make_rng(seed)
+"""
+
+
+def test_rng002_fires_on_literal_seed() -> None:
+    assert ids_at(RNG002_FIRING).count("RNG002") == 2
+
+
+def test_rng002_clean_on_threaded_seed() -> None:
+    assert "RNG002" not in ids_at(RNG002_CLEAN)
+
+
+def test_rng002_allows_literal_seeds_in_tests() -> None:
+    # Benchmarks and tests pin seeds on purpose.
+    assert "RNG002" not in ids_at(RNG002_FIRING, path=TEST)
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall-clock / OS entropy
+# ---------------------------------------------------------------------------
+
+DET001_FIRING = """
+import os
+import time
+from datetime import datetime
+
+def stamp():
+    return time.time(), datetime.now(), os.urandom(8)
+"""
+
+DET001_CLEAN = """
+import time
+
+def measure():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+"""
+
+
+def test_det001_fires_on_wall_clock() -> None:
+    assert ids_at(DET001_FIRING).count("DET001") == 3
+
+
+def test_det001_clean_on_perf_counter() -> None:
+    assert "DET001" not in ids_at(DET001_CLEAN)
+
+
+# ---------------------------------------------------------------------------
+# DET002 — hash-ordered set consumption
+# ---------------------------------------------------------------------------
+
+DET002_FIRING = """
+def dump(items):
+    for x in set(items):
+        print(x)
+    return list({1, 2, 3}), [y for y in frozenset(items)]
+"""
+
+DET002_CLEAN = """
+def dump(items):
+    for x in sorted(set(items)):
+        print(x)
+    allowed = {1, 2, 3}
+    return 1 in allowed, sorted({4, 5})
+"""
+
+
+def test_det002_fires_on_set_iteration() -> None:
+    assert ids_at(DET002_FIRING).count("DET002") == 3
+
+
+def test_det002_clean_on_sorted_and_membership() -> None:
+    assert "DET002" not in ids_at(DET002_CLEAN)
+
+
+# ---------------------------------------------------------------------------
+# LIB001 — bare assert in library code
+# ---------------------------------------------------------------------------
+
+LIB001_FIRING = """
+def f(x):
+    assert x is not None
+    return x
+"""
+
+LIB001_CLEAN = """
+from repro.errors import InternalError
+
+def f(x):
+    if x is None:
+        raise InternalError("x must be set here")
+    return x
+"""
+
+
+def test_lib001_fires_on_library_assert() -> None:
+    assert ids_at(LIB001_FIRING).count("LIB001") == 1
+
+
+def test_lib001_clean_on_raise() -> None:
+    assert "LIB001" not in ids_at(LIB001_CLEAN)
+
+
+def test_lib001_exempts_test_code() -> None:
+    assert "LIB001" not in ids_at(LIB001_FIRING, path=TEST)
+    assert "LIB001" not in ids_at(
+        LIB001_FIRING, path="benchmarks/test_bench_x.py"
+    )
+
+
+# ---------------------------------------------------------------------------
+# LIB002 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+LIB002_FIRING = """
+def f(items=[], mapping={}, tags=set(), *, extra=list()):
+    return items, mapping, tags, extra
+"""
+
+LIB002_CLEAN = """
+def f(items=None, pair=(), *, extra=None):
+    items = [] if items is None else items
+    return items, pair, extra
+"""
+
+
+def test_lib002_fires_on_mutable_defaults() -> None:
+    assert ids_at(LIB002_FIRING).count("LIB002") == 4
+
+
+def test_lib002_clean_on_none_defaults() -> None:
+    assert "LIB002" not in ids_at(LIB002_CLEAN)
+
+
+# ---------------------------------------------------------------------------
+# NUM001 — float-literal equality
+# ---------------------------------------------------------------------------
+
+NUM001_FIRING = """
+def f(x, y):
+    return x == 0.5 or y != -1.25
+"""
+
+NUM001_CLEAN = """
+import math
+
+def f(x, y):
+    return math.isclose(x, 0.5) or x == 3 or x < 0.5
+"""
+
+
+def test_num001_fires_on_float_equality() -> None:
+    assert ids_at(NUM001_FIRING).count("NUM001") == 2
+
+
+def test_num001_clean_on_isclose_and_int() -> None:
+    assert "NUM001" not in ids_at(NUM001_CLEAN)
+
+
+# ---------------------------------------------------------------------------
+# EXP001 — __all__ consistency
+# ---------------------------------------------------------------------------
+
+EXP001_FIRING = """
+__all__ = ["f", "missing", "f"]
+
+def f():
+    return 1
+"""
+
+EXP001_CLEAN = """
+from repro.errors import InternalError
+
+__all__ = ["InternalError", "f", "CONST"]
+
+CONST = 3
+
+def f():
+    return CONST
+"""
+
+
+def test_exp001_fires_on_missing_and_duplicate() -> None:
+    ids = ids_at(EXP001_FIRING)
+    assert ids.count("EXP001") == 2  # one missing, one duplicate
+
+
+def test_exp001_clean_on_consistent_all() -> None:
+    assert "EXP001" not in ids_at(EXP001_CLEAN)
+
+
+# ---------------------------------------------------------------------------
+# IMP001 — unused imports
+# ---------------------------------------------------------------------------
+
+IMP001_FIRING = """
+import os
+from typing import Sequence
+
+def f():
+    return 1
+"""
+
+IMP001_CLEAN = """
+import os
+from typing import Sequence
+import repro.errors as _side_effect
+
+def f(xs: Sequence[int], duty: "DutyCycleConfig | None" = None):
+    return os.fspath("."), xs, duty
+"""
+
+
+def test_imp001_fires_on_unused_imports() -> None:
+    assert ids_at(IMP001_FIRING).count("IMP001") == 2
+
+
+def test_imp001_clean_on_used_underscore_and_string_annotation() -> None:
+    # `os` is used, `_side_effect` is a declared side-effect import, and
+    # Sequence appears in an annotation.
+    assert "IMP001" not in ids_at(IMP001_CLEAN)
+
+
+def test_imp001_exempts_init_reexports() -> None:
+    src = "from repro.errors import InternalError\n"
+    assert "IMP001" in ids_at(src, path=LIB)
+    assert "IMP001" not in ids_at(src, path="src/repro/somepkg/__init__.py")
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting engine behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_every_registered_rule_has_fixture_coverage() -> None:
+    """Meta-test: adding a rule without fixtures fails here."""
+    covered = {
+        "RNG001",
+        "RNG002",
+        "DET001",
+        "DET002",
+        "LIB001",
+        "LIB002",
+        "NUM001",
+        "EXP001",
+        "IMP001",
+    }
+    assert {r.rule_id for r in all_rules()} == covered
+
+
+def test_suppression_comment_waives_named_rule() -> None:
+    src = "def f(x):\n    return x == 0.5  # lint: ignore[NUM001]\n"
+    findings = lint_source(src, path=LIB)
+    assert [f.rule_id for f in findings] == ["NUM001"]
+    assert findings[0].suppressed
+
+
+def test_bare_suppression_waives_all_rules_on_line() -> None:
+    src = "def f(x):\n    assert x == 0.5  # lint: ignore\n"
+    assert ids_at(src) == []
+
+
+def test_suppression_is_per_line_and_per_rule() -> None:
+    src = (
+        "def f(x):\n"
+        "    a = x == 0.5  # lint: ignore[DET001]\n"
+        "    b = x == 0.5\n"
+        "    return a, b\n"
+    )
+    # Wrong rule id on line 2 does not waive NUM001 anywhere.
+    assert ids_at(src) == ["NUM001", "NUM001"]
+
+
+def test_parse_error_yields_single_finding() -> None:
+    findings = lint_source("def f(:\n", path=LIB)
+    assert [f.rule_id for f in findings] == ["PARSE000"]
+
+
+def test_get_rule_unknown_id_raises() -> None:
+    with pytest.raises(KeyError):
+        get_rule("NOPE999")
