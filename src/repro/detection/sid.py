@@ -137,6 +137,22 @@ class SIDNode:
         #: seeded; the internal detector is bypassed on that path.
         self._precomputed_init = False
 
+    def cold_restart(self) -> None:
+        """Forget all RAM state, as a true (non-watchdog) reboot would.
+
+        The adaptive eq. 5 baseline, any temporary-cluster role and any
+        membership are lost; the node re-enters INITIALIZING and must
+        re-seed its baseline from ``init_windows`` fresh windows before
+        it can detect again (the re-warm-up blind window the
+        self-healing runtime meters).
+        """
+        self.detector.reset()
+        self._state = SIDState.INITIALIZING
+        self._cluster = None
+        self._member_of = None
+        self._member_since = 0.0
+        self._precomputed_init = False
+
     @property
     def state(self) -> SIDState:
         """Current node state."""

@@ -342,6 +342,44 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     @classmethod
+    def rolling_crashes(
+        cls,
+        node_ids: Sequence[int],
+        first_at_s: float = 60.0,
+        interval_s: float = 20.0,
+        downtime_s: float = 45.0,
+    ) -> "FaultPlan":
+        """A staggered wave of crash-and-reboot outages, in caller order.
+
+        Node ``i`` goes dark at ``first_at_s + i * interval_s`` and
+        reboots ``downtime_s`` later — the chaos-soak pattern: with
+        ``downtime_s > interval_s`` outages overlap, so at least one
+        forwarder is always down during the wave.  The plan is fully
+        deterministic (no entropy drawn).
+        """
+        ids = list(node_ids)
+        if not ids:
+            raise ConfigurationError("need at least one node to crash")
+        if first_at_s < 0:
+            raise ConfigurationError(
+                f"first_at_s must be >= 0, got {first_at_s}"
+            )
+        if interval_s <= 0 or downtime_s <= 0:
+            raise ConfigurationError(
+                "interval_s and downtime_s must be positive"
+            )
+        return cls(
+            node_crashes=tuple(
+                NodeCrash(
+                    node_id=nid,
+                    at_s=first_at_s + i * interval_s,
+                    reboot_after_s=downtime_s,
+                )
+                for i, nid in enumerate(ids)
+            )
+        )
+
+    @classmethod
     def random(
         cls,
         node_ids: Sequence[int],

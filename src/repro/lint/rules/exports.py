@@ -132,3 +132,100 @@ class DunderAllRule(Rule):
                 if isinstance(value, (ast.List, ast.Tuple)):
                     return value
         return None
+
+
+#: Method names recognised as a stats class's counter-export surface.
+_EXPORT_METHODS = frozenset({"as_dict", "counters"})
+
+
+@register_rule
+class StatsExportMirrorRule(Rule):
+    """EXP002: every ``*Stats`` counter must appear in its export dict.
+
+    The scenario layer surfaces resilience/fault/MAC counters by
+    snapshotting ``SomeStats.as_dict()`` (or ``counters()``); a field
+    added to ``__init__`` but forgotten in the export dict silently
+    vanishes from every scenario summary and benchmark table.  The
+    rule statically cross-checks the two: each public ``self.x = ...``
+    in a ``*Stats`` class's ``__init__`` must occur as a string key in
+    a dict literal inside an export method.
+
+    Classes without an export method are skipped (nothing promises a
+    snapshot), as are export methods whose dicts use ``**`` spreads or
+    computed keys (not statically knowable).
+    """
+
+    rule_id = "EXP002"
+    summary = "*Stats field missing from its as_dict()/counters() export"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.is_library_code
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith(
+                "Stats"
+            ):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        init = methods.get("__init__")
+        exports = [
+            methods[name] for name in sorted(_EXPORT_METHODS & set(methods))
+        ]
+        if init is None or not exports:
+            return
+        keys: set[str] = set()
+        saw_dict = False
+        for method in exports:
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Dict):
+                    continue
+                saw_dict = True
+                for key in sub.keys:
+                    if key is None:
+                        # A ``**`` spread: the export surface is not
+                        # statically knowable, so don't second-guess.
+                        return
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys.add(key.value)
+        if not saw_dict:
+            return
+        for attr, assign in self._init_fields(init):
+            if attr not in keys:
+                yield self.finding(
+                    ctx,
+                    assign,
+                    f"{cls.name}.{attr} is set in __init__ but missing "
+                    "from the counters export dict",
+                )
+
+    @staticmethod
+    def _init_fields(
+        init: ast.FunctionDef,
+    ) -> Iterator[tuple[str, ast.stmt]]:
+        for stmt in init.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and not target.attr.startswith("_")
+                ):
+                    yield target.attr, stmt

@@ -16,7 +16,9 @@ supplies those realities as a controllable substrate:
 - :mod:`repro.network.timesync` — beacon time synchronisation with
   per-hop residual error;
 - :mod:`repro.network.nodeproc` — the network process wrapping one
-  :class:`repro.detection.sid.SIDNode`.
+  :class:`repro.detection.sid.SIDNode`;
+- :mod:`repro.network.selfheal` — the self-healing runtime (route
+  repair, hop-by-hop retries, cold-restart recovery).
 """
 
 from repro.network.channel import Channel, ChannelConfig
@@ -36,6 +38,11 @@ from repro.network.messages import (
 )
 from repro.network.nodeproc import NetworkNode, SinkNode
 from repro.network.routing import RoutingTable, build_connectivity
+from repro.network.selfheal import (
+    OrphanEvent,
+    SelfHealingConfig,
+    SelfHealingRuntime,
+)
 from repro.network.simulator import Simulator
 from repro.network.timesync import TimeSyncProtocol
 
@@ -52,7 +59,10 @@ __all__ = [
     "MacConfig",
     "MemberReportMsg",
     "NetworkNode",
+    "OrphanEvent",
     "RoutingTable",
+    "SelfHealingConfig",
+    "SelfHealingRuntime",
     "Simulator",
     "SinkNode",
     "SyncBeaconMsg",

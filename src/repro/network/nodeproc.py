@@ -11,6 +11,7 @@ back into SID callbacks.  :class:`SinkNode` feeds the detection-layer
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -40,6 +41,11 @@ from repro.network.messages import (
     MemberReportMsg,
 )
 from repro.network.routing import RoutingTable, build_connectivity
+from repro.network.selfheal import (
+    OrphanEvent,
+    SelfHealingConfig,
+    SelfHealingRuntime,
+)
 from repro.network.simulator import Simulator
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.sensors.battery import Battery
@@ -47,6 +53,8 @@ from repro.types import Position
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.network import DeliveryFaults
+
+logger = logging.getLogger("repro.network.resilience")
 
 
 @dataclass(frozen=True)
@@ -80,19 +88,46 @@ class RetransmitPolicy:
 
 
 class ResilienceStats:
-    """Counters for the graceful-degradation machinery."""
+    """Counters for the graceful-degradation and self-healing machinery.
+
+    ``baseline_blind_window_s`` is the one non-count entry: total
+    node-seconds spent re-warming eq. 5 baselines after cold restarts
+    (windows during which those nodes cannot detect anything).
+    """
 
     def __init__(self) -> None:
         self.report_retransmits = 0
         self.stale_reports_dropped = 0
         self.frames_dropped_dead_node = 0
+        self.subtrees_orphaned = 0
+        self.reroutes = 0
+        self.parents_declared_dead = 0
+        self.frames_healed = 0
+        self.hop_retransmits = 0
+        self.relay_frames_abandoned = 0
+        self.relay_queue_drops = 0
+        self.relay_dups_dropped = 0
+        self.sentinel_demotions = 0
+        self.cold_restarts = 0
+        self.baseline_blind_window_s = 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
         """Snapshot of the counters."""
         return {
             "report_retransmits": self.report_retransmits,
             "stale_reports_dropped": self.stale_reports_dropped,
             "frames_dropped_dead_node": self.frames_dropped_dead_node,
+            "subtrees_orphaned": self.subtrees_orphaned,
+            "reroutes": self.reroutes,
+            "parents_declared_dead": self.parents_declared_dead,
+            "frames_healed": self.frames_healed,
+            "hop_retransmits": self.hop_retransmits,
+            "relay_frames_abandoned": self.relay_frames_abandoned,
+            "relay_queue_drops": self.relay_queue_drops,
+            "relay_dups_dropped": self.relay_dups_dropped,
+            "sentinel_demotions": self.sentinel_demotions,
+            "cold_restarts": self.cold_restarts,
+            "baseline_blind_window_s": self.baseline_blind_window_s,
         }
 
 
@@ -132,6 +167,10 @@ class NetworkNode:
         #: Flood dedup: (head_id, onset_time) pairs already forwarded.
         self._seen_setups: set[tuple[int, float]] = set()
         self._seen_cancels: set[tuple[int, int]] = set()
+        #: Relay dedup (healing only): frame seqs already forwarded.
+        self._relayed_seqs: set[int] = set()
+        #: Reboot time of an unfinished baseline re-warm-up, or None.
+        self._blind_since: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Fault-injection lifecycle
@@ -141,8 +180,39 @@ class NetworkNode:
         self.alive = False
 
     def reboot(self) -> None:
-        """Bring a crashed node back (warm restart, state retained)."""
+        """Bring a crashed node back.
+
+        Without self-healing this is a warm restart with state retained
+        (the paper's motes keep state in RAM across watchdog resets) —
+        bit-identical to the pre-healing seed.  With healing armed the
+        node re-joins the routing tree through the repair path, and —
+        unless ``persist_baseline`` keeps the eq. 5 moving mean/std in
+        battery-backed storage — models a true cold restart: detection
+        and cluster state are forgotten and the baseline re-warm-up
+        blind window is metered.
+        """
         self.alive = True
+        self.network.close_orphan(self.node_id)
+        heal = self.network.heal
+        if heal is None:
+            return
+        if not heal.config.persist_baseline:
+            self.sid.cold_restart()
+            self._seen_setups.clear()
+            self._seen_cancels.clear()
+            self._relayed_seqs.clear()
+            self._blind_since = self.network.sim.now
+            self.network.resilience.cold_restarts += 1
+        heal.node_rejoined(self.node_id)
+
+    def _close_blind_window(self) -> None:
+        """Meter a finished (or run-end-truncated) baseline re-warm-up."""
+        if self._blind_since is None:
+            return
+        self.network.resilience.baseline_blind_window_s += (
+            self.network.sim.now - self._blind_since
+        )
+        self._blind_since = None
 
     # ------------------------------------------------------------------
     # Detection-side entry points
@@ -156,6 +226,8 @@ class NetworkNode:
         if self.battery is not None:
             self.battery.draw_cpu(0.001 * len(a_window))
         actions = self.sid.on_samples(a_window, t0)
+        if self._blind_since is not None and self.sid.detector.initialized:
+            self._close_blind_window()
         self._dispatch(actions)
         self._dispatch(self.sid.on_timer(self.network.sim.now))
 
@@ -326,10 +398,26 @@ class NetworkNode:
     # ------------------------------------------------------------------
     # Frame reception
     # ------------------------------------------------------------------
+    def _relay_is_dup(self, frame: Frame) -> bool:
+        """Dedup forwarded frames by id (healing only).
+
+        The healing transport's retries are loss-triggered and so never
+        duplicate on their own, but a fault-injected duplication of a
+        frame already relayed must not be amplified down the tree.
+        """
+        if self.network.heal is None:
+            return False
+        if frame.seq in self._relayed_seqs:
+            self.network.resilience.relay_dups_dropped += 1
+            return True
+        self._relayed_seqs.add(frame.seq)
+        return False
+
     def on_frame(self, frame: Frame, now: float) -> None:
         """Handle one frame delivered to this node's radio."""
         if not self.alive:
             self.network.resilience.frames_dropped_dead_node += 1
+            self.network.note_dead_drop(self.node_id)
             return
         if self.battery is not None:
             if not self.battery.draw_rx(frame.size_bytes):
@@ -363,9 +451,11 @@ class NetworkNode:
             if payload.head_id == self.node_id:
                 self.sid.on_member_report(payload.report)
                 self._dispatch(self.sid.on_timer(now))
-            else:
+            elif not self._relay_is_dup(frame):
                 self.network.unicast(self.node_id, payload.head_id, payload)
         elif isinstance(payload, ClusterReportMsg):
+            if self._relay_is_dup(frame):
+                return
             if payload.static_head_id == self.node_id:
                 # We are the static head: strip the indirection and
                 # forward toward the sink.
@@ -392,6 +482,7 @@ class SensorNetwork:
         channel: Optional[Channel] = None,
         mac_config: Optional[MacConfig] = None,
         retransmit: Optional[RetransmitPolicy] = None,
+        healing: Optional[SelfHealingConfig] = None,
         seed: RandomState = None,
     ) -> None:
         if sink_id in positions:
@@ -420,6 +511,15 @@ class SensorNetwork:
         #: None preserves the fire-and-forget transport exactly.
         self.retransmit = retransmit
         self.resilience = ResilienceStats()
+        #: Optional self-healing runtime; None preserves the seed
+        #: transport (and its RNG consumption) bit for bit.
+        self.heal: Optional[SelfHealingRuntime] = (
+            SelfHealingRuntime(self, healing) if healing is not None else None
+        )
+        #: Orphaned-subtree episodes currently open (dead node id ->
+        #: (start time, orphaned ids)) and the closed event log.
+        self._open_orphans: dict[int, tuple[float, tuple[int, ...]]] = {}
+        self.degradation_events: list[OrphanEvent] = []
         #: Optional duplication/delay hook installed by a FaultInjector.
         self.delivery_faults: Optional["DeliveryFaults"] = None
         # Static geographic cells (Sec. IV-C.1); cell size of three
@@ -476,6 +576,52 @@ class SensorNetwork:
         return sum(1 for n in reachable if n != self.sink_node.node_id)
 
     # ------------------------------------------------------------------
+    # Degradation events (orphaned subtrees)
+    # ------------------------------------------------------------------
+    def note_dead_drop(self, node_id: int) -> None:
+        """First frame lost at a dead node opens an orphan episode.
+
+        Without healing this is the structured record of the silent
+        degradation the bare ``frames_dropped_dead_node`` counter
+        hides: which subtree lost sink connectivity, and (once closed)
+        for how long.  With healing armed the same evidence feeds the
+        repair path, so episodes stay short.
+        """
+        if node_id in self._open_orphans:
+            return
+        orphaned = tuple(self.routing.subtree_of(node_id))
+        self._open_orphans[node_id] = (self.sim.now, orphaned)
+        self.resilience.subtrees_orphaned += 1
+        logger.warning(
+            "dead node %d orphaned subtree %s at t=%.1f s%s",
+            node_id,
+            list(orphaned),
+            self.sim.now,
+            " (healing armed)" if self.heal is not None else "",
+        )
+
+    def close_orphan(self, node_id: int) -> None:
+        """Close an open orphan episode (the dead node rebooted)."""
+        opened = self._open_orphans.pop(node_id, None)
+        if opened is None:
+            return
+        start, orphaned = opened
+        event = OrphanEvent(node_id, orphaned, start, self.sim.now)
+        self.degradation_events.append(event)
+        logger.info(
+            "subtree of dead node %d restored after %.1f s",
+            node_id,
+            event.duration_s,
+        )
+
+    def finalize_resilience(self) -> None:
+        """Close run-end-truncated orphan episodes and blind windows."""
+        for node_id in sorted(self._open_orphans):
+            self.close_orphan(node_id)
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id]._close_blind_window()
+
+    # ------------------------------------------------------------------
     # Transport primitives
     # ------------------------------------------------------------------
     def _neighbours(self, node_id: int) -> list[int]:
@@ -490,6 +636,11 @@ class SensorNetwork:
             self._deliver_direct(dst, frame)
 
     def _deliver_direct(self, dst: int, frame: Frame) -> None:
+        if self.heal is not None and frame.src in self.heal.dead:
+            # Heartbeat evidence: a frame from a declared-dead node
+            # proves it alive (false positive under burst loss) —
+            # fold it straight back into the tree.
+            self.heal.node_rejoined(frame.src)
         if dst == self.sink_node.node_id:
             self.sink_node.on_frame(frame, self.sim.now)
         elif dst in self.nodes:
@@ -536,7 +687,14 @@ class SensorNetwork:
 
         ``on_failed`` (optional) fires when the first hop exhausts its
         MAC retries — the hook the report-retransmission policy uses.
+        With healing armed the hop instead rides the self-healing
+        transport (per-hop retries, dead-node avoidance) and
+        ``on_failed`` fires only when that transport abandons the
+        frame.
         """
+        if self.heal is not None:
+            self.heal.forward(src, dst, payload, on_abandon=on_failed)
+            return
         if dst not in self.graph or src not in self.graph:
             self.lost_to_partition += 1
             return
@@ -566,7 +724,16 @@ class SensorNetwork:
         payload: object,
         on_failed: Optional[Callable[[Frame], None]] = None,
     ) -> None:
-        """Forward toward the sink via the routing tree."""
+        """Forward toward the sink via the routing tree.
+
+        With healing armed the hop rides the self-healing transport:
+        missed acks accrue evidence against the parent, the tree is
+        repaired around parents declared dead, and the frame is re-sent
+        over the repaired route.
+        """
+        if self.heal is not None:
+            self.heal.forward(src, None, payload, on_abandon=on_failed)
+            return
         next_hop = self.routing.next_hop(src)
         if next_hop is None:
             if src == self.sink_node.node_id:

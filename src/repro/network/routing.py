@@ -8,7 +8,7 @@ Algorithm SID uses the same graph's k-hop neighbourhoods.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import networkx as nx
 
@@ -54,27 +54,66 @@ class RoutingTable:
     ``1/p`` over the path's links) rather than the raw hop count, so a
     chain of solid 25 m links beats a shorter chain of marginal 50 m
     skips.
+
+    ``exclude`` and ``no_relay`` support the self-healing runtime's
+    route repair: neither set relays traffic (Dijkstra runs on the
+    remaining core), but each of their members is re-attached as a
+    *leaf* under its cheapest live neighbour — the per-node ETX parent
+    re-selection.  Leaf attachment means a node falsely declared dead
+    (or demoted to sentinel duty) can still originate frames; only
+    transit trust is withdrawn.
     """
 
-    def __init__(self, graph: nx.Graph, sink_id: int) -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        sink_id: int,
+        exclude: Iterable[int] = (),
+        no_relay: Iterable[int] = (),
+    ) -> None:
         if sink_id not in graph:
             raise ConfigurationError(f"sink {sink_id} not in topology")
         self.graph = graph
         self.sink_id = sink_id
+        self.exclude = frozenset(exclude)
+        if sink_id in self.exclude:
+            raise ConfigurationError("cannot exclude the sink from routing")
+        self.no_relay = frozenset(no_relay) - self.exclude - {sink_id}
+        leaves = self.exclude | self.no_relay
+        core = (
+            graph.subgraph([n for n in graph if n not in leaves])
+            if leaves
+            else graph
+        )
         # Dijkstra from the sink on the ETX metric gives each node its
         # parent (next hop toward the sink).
         costs, paths = nx.single_source_dijkstra(
-            graph, sink_id, weight="etx"
+            core, sink_id, weight="etx"
         )
         self._parent: dict[int, int] = {}
         self._depth: dict[int, int] = {}
-        self._etx: dict[int, float] = costs
+        self._etx: dict[int, float] = dict(costs)
         for node, path in paths.items():
             self._depth[node] = len(path) - 1
             if len(path) >= 2:
                 # path runs sink -> ... -> node; the next hop toward the
                 # sink is the penultimate element.
                 self._parent[node] = path[-2]
+        # ETX parent re-selection for the leaf set: each leaf attaches
+        # under the neighbour minimising (neighbour cost + link ETX),
+        # ties broken by the lower node id for determinism.
+        for nid in sorted(leaves):
+            candidates = [
+                (costs[nbr] + graph.edges[nid, nbr]["etx"], nbr)
+                for nbr in sorted(graph.neighbors(nid))
+                if nbr in costs
+            ]
+            if not candidates:
+                continue
+            cost, parent = min(candidates)
+            self._etx[nid] = cost
+            self._parent[nid] = parent
+            self._depth[nid] = self._depth[parent] + 1
 
     def is_connected(self, node_id: int) -> bool:
         """True when ``node_id`` has a route to the sink."""
@@ -106,6 +145,24 @@ class RoutingTable:
     def neighbors(self, node_id: int) -> list[int]:
         """Direct radio neighbours."""
         return sorted(self.graph.neighbors(node_id))
+
+    def subtree_of(self, node_id: int) -> list[int]:
+        """Nodes whose route to the sink runs through ``node_id``.
+
+        This is the set a crash of ``node_id`` orphans: every node in
+        it loses sink connectivity until the tree is repaired.  The
+        node itself is not a member.
+        """
+        children: dict[int, list[int]] = {}
+        for child, parent in self._parent.items():
+            children.setdefault(parent, []).append(child)
+        out: list[int] = []
+        stack = [node_id]
+        while stack:
+            for child in children.get(stack.pop(), ()):
+                out.append(child)
+                stack.append(child)
+        return sorted(out)
 
     def nodes_within_hops(self, node_id: int, hops: int) -> list[int]:
         """All nodes reachable in <= ``hops`` hops (excluding the node).

@@ -40,10 +40,11 @@ from repro.detection.sid import SIDNode, SIDNodeConfig
 from repro.detection.sink import Sink
 from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import BatteryDrain, FaultPlan
 from repro.network.channel import Channel, ChannelConfig
 from repro.network.mac import MacConfig
 from repro.network.nodeproc import RetransmitPolicy, SensorNetwork
+from repro.network.selfheal import OrphanEvent, SelfHealingConfig
 from repro.physics.disturbance import Disturbance
 from repro.rng import RandomState, derive_rng, make_rng
 import numpy as np
@@ -273,11 +274,14 @@ class NetworkScenarioResult:
     mac_stats: dict[str, int]
     lost_to_partition: int
     sink_frames: int
-    fault_stats: dict[str, int] = field(default_factory=dict)
+    fault_stats: dict[str, float] = field(default_factory=dict)
     degraded_decisions: int = 0
     degraded_cluster_reports: int = 0
     resyncs_performed: int = 0
     clock_rms_error_s: float = 0.0
+    #: Orphaned-subtree episodes (node ids + duration), recorded
+    #: whether or not healing was armed.
+    degradation_events: tuple[OrphanEvent, ...] = ()
 
     @property
     def intrusion_detected(self) -> bool:
@@ -291,6 +295,17 @@ class NetworkScenarioResult:
             "report_retransmits",
             "stale_reports_dropped",
             "frames_dropped_dead_node",
+            "subtrees_orphaned",
+            "reroutes",
+            "parents_declared_dead",
+            "frames_healed",
+            "hop_retransmits",
+            "relay_frames_abandoned",
+            "relay_queue_drops",
+            "relay_dups_dropped",
+            "sentinel_demotions",
+            "cold_restarts",
+            "baseline_blind_window_s",
         }
     )
     #: Volume metrics (per-sample tallies), not discrete fault events.
@@ -396,6 +411,7 @@ def run_network_scenario(
     track_hypothesis: TravelLine | None = None,
     faults: FaultPlan | None = None,
     retransmit: RetransmitPolicy | None = None,
+    healing: SelfHealingConfig | None = None,
     resync_interval_s: float | None = 120.0,
     seed: RandomState = None,
     detection_engine: str = "fleet",
@@ -412,6 +428,15 @@ def run_network_scenario(
     An active plan also arms the degradation machinery: degraded-quorum
     cluster evaluation and report retransmission (the latter can be
     tuned or forced on independently via ``retransmit``).
+
+    ``healing`` arms the self-healing runtime (route repair around
+    dead parents, hop-by-hop relay retries, cold-restart recovery,
+    battery-triggered sentinel demotion).  ``None`` — the default —
+    installs nothing and keeps every path bit-identical to the
+    pre-healing transport.  Because a cold restart resets a node's
+    eq. 5 baseline at run time, healing forces the ``"reference"``
+    detection engine (the fleet precompute assumes baselines are never
+    reset mid-run).
 
     ``resync_interval_s`` schedules a periodic fleet-wide time-sync
     beacon (None disables it); crashed nodes miss their beacons and a
@@ -478,20 +503,32 @@ def run_network_scenario(
         channel=injector.wrap_channel(channel),
         mac_config=mac_config,
         retransmit=retransmit,
+        healing=healing,
         seed=derive_rng(root, "network"),
     )
     injector.install(network)
+    if healing is not None and healing.demote_battery_fraction is not None:
+        # Fault-aware duty cycling: a drained battery demotes its node
+        # to sentinel (non-relaying) duty through the healing runtime.
+        for node in deployment:
+            node.mote.battery.watch_low(
+                healing.demote_battery_fraction,
+                lambda nid=node.node_id: network.heal.demote(nid),
+            )
     # Unlike the controlled offline experiments, the online system has
     # no ground-truth sailing line: unless the caller supplies a
     # hypothesis explicitly, each temporary-cluster head fits the line
     # from its own reports (TravelLine.fit_from_reports).
 
     window = cfg.detector.window_samples
+    # The fleet precompute assumes no baseline resets mid-run; a
+    # healing-armed run can cold-restart detectors at reboot time, so
+    # it always takes the reference feed path.
     outcomes = (
         _fleet_network_outcomes(
             deployment, traces, cfg.detector, faults, network.sim.now
         )
-        if detection_engine == "fleet"
+        if detection_engine == "fleet" and healing is None
         else None
     )
     for node in deployment:
@@ -568,6 +605,7 @@ def run_network_scenario(
 
     network.sim.run()
     sink.flush()
+    network.finalize_resilience()
     errors = [
         node.mote.clock.error_at(sync_horizon) for node in deployment
     ]
@@ -576,8 +614,8 @@ def run_network_scenario(
         if errors
         else 0.0
     )
-    fault_stats: dict[str, int] = {}
-    if injector.active:
+    fault_stats: dict[str, float] = {}
+    if injector.active or healing is not None:
         fault_stats = {
             **injector.stats.as_dict(),
             **network.resilience.as_dict(),
@@ -595,6 +633,7 @@ def run_network_scenario(
         ),
         resyncs_performed=resyncs_performed[0],
         clock_rms_error_s=clock_rms,
+        degradation_events=tuple(network.degradation_events),
     )
 
 
@@ -615,6 +654,11 @@ class DutyCycledScenarioResult:
     def n_reports(self) -> int:
         """Total window-level reports raised."""
         return sum(len(v) for v in self.reports_by_node.values())
+
+    @property
+    def sentinel_demotions(self) -> int:
+        """Nodes demoted to coarse sentinel duty by battery drain."""
+        return self.controller.sentinel_demotions
 
 
 def _dutycycled_fleet_reports(
@@ -717,6 +761,7 @@ def run_dutycycled_scenario(
     duty_config: "DutyCycleConfig | None" = None,
     synthesis_config: SynthesisConfig | None = None,
     disturbances_by_node: dict[int, list[Disturbance]] | None = None,
+    faults: FaultPlan | None = None,
     seed: RandomState = None,
     detection_engine: str = "fleet",
 ) -> DutyCycledScenarioResult:
@@ -727,6 +772,15 @@ def run_dutycycled_scenario(
     so most nodes sleep through quiet water yet still catch the ship.
     Windows are processed in global time order so an alarm at t can
     wake other nodes for their windows after t.
+
+    ``faults`` (only :class:`~repro.faults.plan.BatteryDrain` entries
+    apply here) turns on battery accounting: every evaluated window
+    bills its sampling energy, drains accelerate at their onset, a
+    depleted node skips its windows, and — when
+    ``DutyCycleConfig.demote_battery_fraction`` is set — a node whose
+    charge crosses the watermark is permanently demoted to coarse
+    sentinel duty.  ``faults=None`` (the default) bills nothing and
+    stays bit-identical to the pre-fault runner.
 
     ``detection_engine="fleet"`` (default) advances the whole fleet one
     window group at a time with the vectorized engine — bit-identical
@@ -779,7 +833,10 @@ def run_dutycycled_scenario(
         if decimation > 1
         else det_cfg
     )
-    if detection_engine == "fleet":
+    plan_active = faults is not None and faults.active
+    # The group-vectorized walk has no battery model; faulted runs take
+    # the sequential reference loop, which bills and demotes per window.
+    if detection_engine == "fleet" and not plan_active:
         fleet_result = _dutycycled_fleet_reports(
             deployment, traces, det_cfg, coarse_cfg, decimation, controller
         )
@@ -830,14 +887,33 @@ def run_dutycycled_scenario(
     reports_by_node: dict[int, list[NodeReport]] = {
         nid: [] for nid in preprocessed
     }
+    # Battery model (faulted runs only): pending drains sorted by
+    # onset, per-window sampling bills, and watermark demotion.
+    pending_drains: dict[int, list[BatteryDrain]] = {}
+    if plan_active:
+        for drain in faults.battery_drains:
+            pending_drains.setdefault(drain.node_id, []).append(drain)
+        for drains in pending_drains.values():
+            drains.sort(key=lambda d: d.at_s)
+    batteries = {n.node_id: n.mote.battery for n in deployment}
+    demote_frac = controller.config.demote_battery_fraction
     first_alarm: Optional[float] = None
     for t0, nid, start in schedule:
         detector = detectors[nid]
         seg = preprocessed[nid][start : start + window]
+        if plan_active:
+            battery = batteries[nid]
+            drains = pending_drains.get(nid)
+            while drains and drains[0].at_s <= t0:
+                battery.accelerate_drain(drains.pop(0).factor)
+            if battery.depleted:
+                continue
         if not detector.initialized:
             # Initialization windows always run (they happen right after
             # deployment, before the duty cycle engages); both rate
             # variants build their baselines during this phase.
+            if plan_active:
+                battery.draw_samples(window)
             detector.process_window(seg, t0)
             c_start = start // decimation
             coarse_detectors[nid].process_window(
@@ -845,9 +921,20 @@ def run_dutycycled_scenario(
                 t0,
             )
             continue
+        if (
+            plan_active
+            and demote_frac is not None
+            and not controller.is_demoted(nid)
+            and battery.fraction_remaining < demote_frac
+        ):
+            controller.demote(nid, t0)
         if not controller.is_active(nid, t0):
             continue
-        if controller.in_wakeup(t0) or decimation == 1:
+        if (
+            controller.in_wakeup(t0) or decimation == 1
+        ) and not controller.is_demoted(nid):
+            if plan_active:
+                battery.draw_samples(window)
             report = detector.process_window(seg, t0)
         else:
             # Sentinel mode: coarse detection at the reduced rate.
@@ -857,6 +944,8 @@ def run_dutycycled_scenario(
             ]
             if c_seg.size < coarse_window:
                 continue
+            if plan_active:
+                battery.draw_samples(coarse_window)
             report = coarse_detectors[nid].process_window(c_seg, t0)
         if report is not None:
             reports_by_node[nid].append(report)

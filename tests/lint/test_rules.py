@@ -266,6 +266,64 @@ def test_exp001_clean_on_consistent_all() -> None:
 
 
 # ---------------------------------------------------------------------------
+# EXP002 — *Stats counters mirrored into the export dict
+# ---------------------------------------------------------------------------
+
+EXP002_FIRING = """
+class ResilienceStats:
+    def __init__(self):
+        self.reroutes = 0
+        self.frames_healed = 0
+        self._scratch = {}
+
+    def as_dict(self):
+        return {"reroutes": self.reroutes}
+"""
+
+EXP002_CLEAN = """
+class MacStats:
+    def __init__(self):
+        self.transmissions = 0
+        self.drops = 0
+        self._internal = 0
+
+    def counters(self):
+        return {
+            "transmissions": self.transmissions,
+            "drops": self.drops,
+        }
+
+
+class NoExportStats:
+    def __init__(self):
+        self.orphan_field = 0
+
+
+class SpreadStats:
+    def __init__(self):
+        self.dynamic = 0
+
+    def as_dict(self):
+        return {**vars(self)}
+"""
+
+
+def test_exp002_fires_on_unmirrored_counter() -> None:
+    ids = ids_at(EXP002_FIRING)
+    assert ids.count("EXP002") == 1  # frames_healed only; _scratch exempt
+
+
+def test_exp002_clean_on_mirrored_skipped_and_spread() -> None:
+    # Mirrored counters pass; classes without an export method and
+    # exports built from ** spreads are out of static reach.
+    assert "EXP002" not in ids_at(EXP002_CLEAN)
+
+
+def test_exp002_exempts_test_code() -> None:
+    assert "EXP002" not in ids_at(EXP002_FIRING, path=TEST)
+
+
+# ---------------------------------------------------------------------------
 # IMP001 — unused imports
 # ---------------------------------------------------------------------------
 
@@ -319,6 +377,7 @@ def test_every_registered_rule_has_fixture_coverage() -> None:
         "LIB002",
         "NUM001",
         "EXP001",
+        "EXP002",
         "IMP001",
     }
     assert {r.rule_id for r in all_rules()} == covered
