@@ -23,6 +23,10 @@ the frames the unhealed runs lost versus clean, and never costs
 detections.  All runs are seeded, so the gate is bit-reproducible.
 
 ``$REPRO_CHAOS_SCALE=smoke`` shrinks the seed set for CI.
+``$REPRO_CHAOS_TRACE=<path.jsonl>`` additionally streams a structured
+telemetry trace of the first seed's healed run to that path (frame,
+heal, fault, detection and profiling events); CI uploads it as an
+artifact.  Tracing is equivalence-tested to leave results untouched.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.parallel import SweepConfig, SweepRunner
 from repro.scenario.presets import paper_deployment, paper_ship
 from repro.scenario.runner import run_network_scenario
 from repro.scenario.synthesis import SynthesisConfig
+from repro.telemetry import Telemetry
 
 #: The chokepoint forwarder: in the 6x5 paper grid the sink's ETX tree
 #: hangs 18 of 30 nodes below node 8, while node 8 itself sits ~1.5
@@ -78,6 +83,20 @@ def _chaos_plan() -> FaultPlan:
     )
 
 
+def _telemetry_for(seed: int, mode: str):
+    """JSONL telemetry for the representative healed run, if requested.
+
+    ``$REPRO_CHAOS_TRACE`` names the output path; only the first
+    seed's healed run is traced so the artifact stays one scenario's
+    story.  Constructed here (not at module scope) so sweep workers
+    open the sink in whichever process runs the cell.
+    """
+    path = os.environ.get("REPRO_CHAOS_TRACE")
+    if not path or mode != "healed" or seed != SEEDS[0]:
+        return None
+    return Telemetry.to_jsonl(path)
+
+
 def _run_one(seed: int, mode: str):
     dep = paper_deployment(seed=seed)
     ships = [paper_ship(dep, cross_time_s=t) for t in CROSS_TIMES_S]
@@ -87,18 +106,24 @@ def _run_one(seed: int, mode: str):
         if mode == "healed"
         else None
     )
-    return run_network_scenario(
-        dep,
-        ships,
-        sid_config=SIDNodeConfig(
-            detector=NodeDetectorConfig(m=2.0, af_threshold=0.4),
-            cluster=TemporaryClusterConfig(min_rows=3),
-        ),
-        synthesis_config=SynthesisConfig(duration_s=DURATION_S),
-        faults=faults,
-        healing=healing,
-        seed=seed,
-    )
+    telemetry = _telemetry_for(seed, mode)
+    try:
+        return run_network_scenario(
+            dep,
+            ships,
+            sid_config=SIDNodeConfig(
+                detector=NodeDetectorConfig(m=2.0, af_threshold=0.4),
+                cluster=TemporaryClusterConfig(min_rows=3),
+            ),
+            synthesis_config=SynthesisConfig(duration_s=DURATION_S),
+            faults=faults,
+            healing=healing,
+            seed=seed,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def _run_soak():

@@ -19,9 +19,12 @@ increase the sampling rate to perform a more accurate detection."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.sensors.battery import EnergyCosts
+from repro.telemetry.events import CAT_DUTYCYCLE
+from repro.telemetry.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -83,12 +86,16 @@ class DutyCycleController:
     """
 
     def __init__(
-        self, node_ids: list[int], config: DutyCycleConfig | None = None
+        self,
+        node_ids: list[int],
+        config: DutyCycleConfig | None = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not node_ids:
             raise ConfigurationError("need at least one node")
         self.node_ids = sorted(node_ids)
         self.config = config if config is not None else DutyCycleConfig()
+        self.tracer = tracer
         n = len(self.node_ids)
         self._n_sentinels = max(int(round(n * self.config.sentinel_fraction)), 1)
         #: Alarm wake-up intervals [start, end), merged on insertion.
@@ -125,6 +132,14 @@ class DutyCycleController:
         merged.append((start, end))
         merged.sort()
         self._wake_intervals = merged
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_DUTYCYCLE,
+                "wakeup",
+                sim_time_s=t,
+                wake_start_s=start,
+                wake_end_s=end,
+            )
 
     def in_wakeup(self, t: float) -> bool:
         """True while a fleet wake-up interval covers ``t``."""
@@ -154,6 +169,14 @@ class DutyCycleController:
         """
         if node_id not in self.node_ids:
             raise ConfigurationError(f"unknown node {node_id}")
+        if node_id not in self._demoted and self.tracer is not None:
+            self.tracer.emit(
+                CAT_DUTYCYCLE,
+                "demote",
+                sim_time_s=t,
+                node_id=node_id,
+                reason="battery_low",
+            )
         self._demoted.setdefault(node_id, t)
 
     def is_demoted(self, node_id: int) -> bool:

@@ -27,7 +27,7 @@ with peak memory O(nodes x chunk) instead of O(nodes x duration).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,8 @@ from repro.errors import (
     InternalError,
     SignalLengthError,
 )
+from repro.telemetry.events import CAT_DETECTION
+from repro.telemetry.tracer import Tracer
 from repro.types import Position
 
 if TYPE_CHECKING:
@@ -71,16 +73,21 @@ class FleetDetector:
         self,
         members: Sequence[FleetMember],
         config: NodeDetectorConfig | None = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not members:
             raise ConfigurationError("need at least one fleet member")
         self.members = tuple(members)
         self.config = config if config is not None else NodeDetectorConfig()
+        #: Optional telemetry tracer; None keeps step() emission-free.
+        self.tracer = tracer
         n = len(self.members)
         self._mean = np.zeros(n)
         self._std = np.zeros(n)
         self._seeded = np.zeros(n, dtype=bool)
         self._init_buffers: list[list[np.ndarray]] = [[] for _ in range(n)]
+        #: Last observed report-mask state per row (trace transitions).
+        self._last_reporting = np.zeros(n, dtype=bool)
 
     @classmethod
     def from_deployment(
@@ -229,7 +236,62 @@ class FleetDetector:
                 row=member.row,
                 column=member.column,
             )
+        if self.tracer is not None:
+            self._trace_step(rows, reporting, t0s, out)
         return out
+
+    def _trace_step(
+        self,
+        rows: np.ndarray,
+        reporting: np.ndarray,
+        t0s: Sequence[float],
+        out: list[NodeReport | None],
+    ) -> None:
+        """Emit the step aggregate, mask transitions, and alarms.
+
+        Quiet steps (nothing reporting, no mask transition) emit no
+        event at all: a long idle stretch costs one vectorized compare
+        per step, which is what keeps the traced fleet walk inside the
+        ISSUE 7 overhead budget.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        changed = reporting != self._last_reporting[rows]
+        n_reporting = int(np.count_nonzero(reporting))
+        if n_reporting == 0 and not changed.any():
+            return
+        step_t0 = float(min(t0s[int(i)] for i in rows))
+        tracer.emit(
+            CAT_DETECTION,
+            "fleet_step",
+            sim_time_s=step_t0,
+            n_evaluated=int(rows.size),
+            n_reporting=n_reporting,
+        )
+        # A report exists only on reporting rows, so rows that neither
+        # transitioned nor report need no Python-level visit.
+        for j in np.flatnonzero(changed | reporting):
+            i = int(rows[j])
+            if changed[j]:
+                now = bool(reporting[j])
+                tracer.emit(
+                    CAT_DETECTION,
+                    "report_onset" if now else "report_clear",
+                    sim_time_s=float(t0s[i]),
+                    node_id=self.members[i].node_id,
+                )
+                self._last_reporting[i] = now
+            report = out[i]
+            if report is not None:
+                tracer.emit(
+                    CAT_DETECTION,
+                    "alarm",
+                    sim_time_s=report.onset_time,
+                    node_id=report.node_id,
+                    energy=report.energy,
+                    anomaly_frequency=report.anomaly_frequency,
+                )
 
     # ------------------------------------------------------------------
     # Whole-stream walk

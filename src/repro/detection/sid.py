@@ -39,6 +39,8 @@ from repro.detection.cluster import (
 from repro.detection.node_detector import NodeDetector, NodeDetectorConfig
 from repro.detection.reports import ClusterReport, NodeReport
 from repro.errors import InternalError, ProtocolError
+from repro.telemetry.events import CAT_DETECTION
+from repro.telemetry.tracer import Tracer
 from repro.types import Position
 
 
@@ -136,6 +138,9 @@ class SIDNode:
         #: (the fleet-vectorized precomputation) reports the baseline
         #: seeded; the internal detector is bypassed on that path.
         self._precomputed_init = False
+        #: Optional telemetry tracer, installed by the network layer;
+        #: None keeps the detection path free of emission overhead.
+        self.tracer: Optional[Tracer] = None
 
     def cold_restart(self) -> None:
         """Forget all RAM state, as a true (non-watchdog) reboot would.
@@ -205,6 +210,17 @@ class SIDNode:
     ) -> list[SIDAction]:
         if report is None:
             return []
+        if self.tracer is not None:
+            # The eq. 9 alarm: this window's anomaly frequency cleared
+            # the node threshold and becomes protocol traffic.
+            self.tracer.emit(
+                CAT_DETECTION,
+                "alarm",
+                sim_time_s=report.onset_time,
+                node_id=self.node_id,
+                energy=report.energy,
+                anomaly_frequency=report.anomaly_frequency,
+            )
         if self.state == SIDState.TEMP_CLUSTER_HEAD:
             if self._cluster is None:
                 raise InternalError(

@@ -10,10 +10,13 @@ clears the correlation threshold, and aggregates the speed estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.constants import CORRELATION_DECISION_THRESHOLD
 from repro.detection.reports import ClusterReport, SinkDecision
 from repro.errors import ConfigurationError
+from repro.telemetry.events import CAT_DETECTION
+from repro.telemetry.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -38,8 +41,13 @@ class SinkConfig:
 class Sink:
     """The network sink: accumulates cluster reports, emits decisions."""
 
-    def __init__(self, config: SinkConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SinkConfig | None = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config if config is not None else SinkConfig()
+        self.tracer = tracer
         self._pending: list[ClusterReport] = []
         self._decisions: list[SinkDecision] = []
 
@@ -61,6 +69,16 @@ class Sink:
         finalises the pending group (returning its decision) and then
         opens a new group.
         """
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_DETECTION,
+                "cluster_report",
+                sim_time_s=report.detection_time,
+                node_id=report.head_id,
+                correlation=report.correlation,
+                n_reports=len(report.reports),
+                degraded=report.degraded,
+            )
         if self._pending and (
             report.detection_time
             - max(r.detection_time for r in self._pending)
@@ -112,4 +130,14 @@ class Sink:
             degraded=any(r.degraded for r in basis),
         )
         self._decisions.append(decision)
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_DETECTION,
+                "sink_decision",
+                sim_time_s=decision.time,
+                intrusion=decision.intrusion,
+                n_cluster_reports=len(group),
+                speed_estimate_mps=decision.speed_estimate_mps,
+                degraded=decision.degraded,
+            )
         return decision

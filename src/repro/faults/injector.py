@@ -10,7 +10,8 @@ scenario result can report exact injected-fault counts.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import math
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.faults.sensor import FaultyAccelerometer
 from repro.network.channel import Channel
 from repro.rng import derive_rng
 from repro.sensors.accelerometer import Accelerometer
+from repro.telemetry.events import CAT_FAULT
+from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.nodeproc import SensorNetwork
@@ -35,9 +38,14 @@ class FaultInjector:
     an injector at all.
     """
 
-    def __init__(self, plan: FaultPlan | None) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan | None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.plan = plan if plan is not None else FaultPlan.none()
         self.stats = FaultStats()
+        self.tracer = tracer
         self._channel_wrapper: Optional[FaultyChannel] = None
         # Independent entropy per fault family: replaying a plan against
         # a different scenario keeps the same fault realisation.
@@ -112,6 +120,8 @@ class FaultInjector:
         """
         if not self.active:
             return
+        if self.tracer is not None:
+            self._trace_windows()
         if self._channel_wrapper is not None:
             self._channel_wrapper.bind_clock(lambda: network.sim.now)
         hook = self.delivery_faults()
@@ -126,12 +136,100 @@ class FaultInjector:
                 max(drain.at_s, network.sim.now), self._drain, network, drain
             )
 
+    def _trace_windows(self) -> None:
+        """Emit activation/expiry point events for windowed faults.
+
+        Emitted once at install time with ``sim_time_s`` set to the
+        window boundary, so the Chrome export places them correctly on
+        the simulation timeline.  Infinite windows get no expiry event
+        (``inf`` is not valid strict JSON).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+
+        def window(
+            name: str,
+            start_s: float,
+            duration_s: float,
+            node_id: Optional[int] = None,
+            **fields: Any,
+        ) -> None:
+            tracer.emit(
+                CAT_FAULT,
+                f"{name}_start",
+                sim_time_s=start_s,
+                node_id=node_id,
+                **fields,
+            )
+            if math.isfinite(duration_s):
+                tracer.emit(
+                    CAT_FAULT,
+                    f"{name}_end",
+                    sim_time_s=start_s + duration_s,
+                    node_id=node_id,
+                )
+
+        plan = self.plan
+        for fault in plan.sensor_faults:
+            window(
+                f"sensor_{fault.kind.value}",
+                fault.start_s,
+                fault.duration_s,
+                node_id=fault.node_id,
+                magnitude=fault.magnitude,
+            )
+        if plan.burst_loss is not None:
+            window(
+                "burst_loss",
+                plan.burst_loss.start_s,
+                plan.burst_loss.duration_s,
+                bad_loss_rate=plan.burst_loss.bad_loss_rate,
+            )
+        for blackout in plan.link_blackouts:
+            window(
+                "link_blackout",
+                blackout.start_s,
+                blackout.duration_s,
+                node_id=blackout.node_a,
+                peer=blackout.node_b,
+            )
+        for sync in plan.sync_failures:
+            window(
+                "sync_failure",
+                sync.start_s,
+                sync.duration_s,
+                node_id=sync.node_id,
+            )
+        if plan.duplication is not None:
+            window(
+                "duplication",
+                plan.duplication.start_s,
+                plan.duplication.duration_s,
+                probability=plan.duplication.probability,
+            )
+        if plan.delay is not None:
+            window(
+                "delay",
+                plan.delay.start_s,
+                plan.delay.duration_s,
+                probability=plan.delay.probability,
+            )
+
     def _crash(self, network: "SensorNetwork", crash: NodeCrash) -> None:
         node = network.nodes.get(crash.node_id)
         if node is None or not node.alive:
             return
         node.crash()
         self.stats.node_crashes += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FAULT,
+                "node_crash",
+                sim_time_s=network.sim.now,
+                node_id=crash.node_id,
+                reboot_after_s=crash.reboot_after_s,
+            )
         if crash.reboot_after_s is not None:
             network.sim.schedule(
                 crash.reboot_after_s, self._reboot, network, crash.node_id
@@ -143,6 +241,13 @@ class FaultInjector:
             return
         node.reboot()
         self.stats.node_reboots += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FAULT,
+                "node_reboot",
+                sim_time_s=network.sim.now,
+                node_id=node_id,
+            )
 
     def _drain(self, network: "SensorNetwork", drain: BatteryDrain) -> None:
         node = network.nodes.get(drain.node_id)
@@ -150,6 +255,14 @@ class FaultInjector:
             return
         node.battery.accelerate_drain(drain.factor)
         self.stats.battery_drains += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FAULT,
+                "battery_drain",
+                sim_time_s=network.sim.now,
+                node_id=drain.node_id,
+                factor=drain.factor,
+            )
 
     # ------------------------------------------------------------------
     # Clock-sync fault hook

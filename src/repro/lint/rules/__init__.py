@@ -9,7 +9,8 @@ it below.  Rule ids are grouped by family:
 - ``LIB``    — library robustness (bare assert, mutable defaults);
 - ``NUM``    — floating-point hygiene;
 - ``EXP``    — export-surface consistency (``__all__``);
-- ``IMP``    — import hygiene.
+- ``IMP``    — import hygiene;
+- ``OBS``    — observability (no ad-hoc stdout in library code).
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.lint.rules import (  # noqa: F401
     exports,
     imports,
     numerics,
+    observability,
     rng_discipline,
     robustness,
 )
@@ -28,6 +30,7 @@ __all__ = [
     "exports",
     "imports",
     "numerics",
+    "observability",
     "rng_discipline",
     "robustness",
 ]

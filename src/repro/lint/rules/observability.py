@@ -1,0 +1,73 @@
+"""Observability rules: no ad-hoc stdout in library code."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Module filenames that are CLI surfaces by convention: their whole
+#: job is writing to stdout/stderr.
+_CLI_MODULE_NAMES = frozenset({"cli.py", "__main__.py"})
+
+
+def _has_main_guard(tree: ast.Module) -> bool:
+    """True when the module ends in an ``if __name__ == "__main__":``."""
+    for node in tree.body:
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value == "__main__"
+        ):
+            return True
+    return False
+
+
+@register_rule
+class NoPrintInLibraryRule(Rule):
+    """OBS001: no ``print()`` in library code.
+
+    A ``print`` buried in a scenario runner or protocol module writes
+    straight to the caller's stdout — it cannot be routed, filtered,
+    levelled, or captured by the telemetry layer.  Library code must
+    report through ``logging`` or emit :mod:`repro.telemetry` events;
+    only CLI entry points (``cli.py`` / ``__main__.py`` modules, or
+    modules guarded by ``if __name__ == "__main__":``) own a terminal.
+    """
+
+    rule_id = "OBS001"
+    summary = (
+        "print() in library code bypasses logging and telemetry; "
+        "use a logger or a Tracer event"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        if not ctx.is_library_code:
+            return False
+        if ctx.posix_path.name in _CLI_MODULE_NAMES:
+            return False
+        return not _has_main_guard(ctx.tree)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() writes to the caller's stdout; library "
+                    "code must use logging or repro.telemetry so "
+                    "output stays routable",
+                )

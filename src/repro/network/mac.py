@@ -23,6 +23,8 @@ from repro.network.channel import Channel
 from repro.network.messages import Frame
 from repro.network.simulator import Simulator
 from repro.rng import RandomState, make_rng
+from repro.telemetry.events import CAT_FRAME
+from repro.telemetry.tracer import Tracer
 from repro.types import Position
 
 
@@ -57,6 +59,7 @@ class Mac:
         channel: Channel,
         config: MacConfig | None = None,
         seed: RandomState = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.channel = channel
@@ -65,6 +68,8 @@ class Mac:
         #: node_id -> end time of its current transmission.
         self._busy_until: dict[int, float] = {}
         self.stats = MacStats()
+        #: Optional telemetry tracer; None keeps emission sites free.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def _medium_busy(self, around: int, neighbours: list[int]) -> bool:
@@ -94,6 +99,15 @@ class Mac:
         """
         backoff_window = self.config.base_backoff_s * (2**retry)
         delay = float(self._rng.uniform(0, backoff_window))
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FRAME,
+                "backoff",
+                sim_time_s=self.sim.now,
+                node_id=frame.src,
+                retry=retry,
+                delay_s=delay,
+            )
         self.sim.schedule(
             delay,
             self._transmit,
@@ -122,6 +136,25 @@ class Mac:
             collided = self._rng.random() < self.config.collision_probability
         self._busy_until[frame.src] = self.sim.now + airtime
         self.stats.transmissions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FRAME,
+                "tx",
+                sim_time_s=self.sim.now,
+                node_id=frame.src,
+                dst=frame.dst,
+                size_bytes=frame.size_bytes,
+                retry=retry,
+                broadcast=frame.is_broadcast,
+            )
+            if collided:
+                self.tracer.emit(
+                    CAT_FRAME,
+                    "collision",
+                    sim_time_s=self.sim.now,
+                    node_id=frame.src,
+                    retry=retry,
+                )
 
         if frame.is_broadcast:
             # Fire and forget; receiver-side link draws happen upstream.
@@ -142,6 +175,15 @@ class Mac:
         if collided:
             self.stats.collisions += 1
         if delivered:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    CAT_FRAME,
+                    "ack",
+                    sim_time_s=self.sim.now,
+                    node_id=frame.src,
+                    dst=frame.dst,
+                    retry=retry,
+                )
             # ACK travels back; model its loss inside the same draw.
             self.sim.schedule(
                 airtime + self.config.ack_timeout_s, on_delivered, frame
@@ -149,6 +191,15 @@ class Mac:
             return
         if retry < self.config.max_retries:
             self.stats.retries += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    CAT_FRAME,
+                    "retransmit",
+                    sim_time_s=self.sim.now,
+                    node_id=frame.src,
+                    dst=frame.dst,
+                    retry=retry + 1,
+                )
             self.sim.schedule(
                 airtime + self.config.ack_timeout_s,
                 self.send,
@@ -162,6 +213,15 @@ class Mac:
             )
             return
         self.stats.drops += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CAT_FRAME,
+                "drop",
+                sim_time_s=self.sim.now,
+                node_id=frame.src,
+                dst=frame.dst,
+                retries=retry,
+            )
         if on_failed is not None:
             self.sim.schedule(airtime, on_failed, frame)
 

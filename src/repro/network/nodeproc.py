@@ -49,12 +49,22 @@ from repro.network.selfheal import (
 from repro.network.simulator import Simulator
 from repro.rng import RandomState, derive_rng, make_rng
 from repro.sensors.battery import Battery
+from repro.telemetry.events import CAT_DETECTION, CAT_FRAME, CAT_HEAL
+from repro.telemetry.session import Telemetry
 from repro.types import Position
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.network import DeliveryFaults
 
 logger = logging.getLogger("repro.network.resilience")
+
+#: Detection-category trace event name per dispatched SID action.
+_ACTION_EVENT_NAMES: dict[type, str] = {
+    SetupClusterAction: "cluster_setup",
+    MemberReportAction: "member_report",
+    ClusterResultAction: "cluster_result",
+    CancelClusterAction: "cluster_cancel",
+}
 
 
 @dataclass(frozen=True)
@@ -203,15 +213,29 @@ class NetworkNode:
             self._relayed_seqs.clear()
             self._blind_since = self.network.sim.now
             self.network.resilience.cold_restarts += 1
+            if self.network.trace is not None:
+                self.network.trace.emit(
+                    CAT_HEAL,
+                    "cold_restart",
+                    sim_time_s=self.network.sim.now,
+                    node_id=self.node_id,
+                )
         heal.node_rejoined(self.node_id)
 
     def _close_blind_window(self) -> None:
         """Meter a finished (or run-end-truncated) baseline re-warm-up."""
         if self._blind_since is None:
             return
-        self.network.resilience.baseline_blind_window_s += (
-            self.network.sim.now - self._blind_since
-        )
+        blind_s = self.network.sim.now - self._blind_since
+        self.network.resilience.baseline_blind_window_s += blind_s
+        if self.network.trace is not None:
+            self.network.trace.emit(
+                CAT_HEAL,
+                "blind_window",
+                sim_time_s=self.network.sim.now,
+                node_id=self.node_id,
+                duration_s=blind_s,
+            )
         self._blind_since = None
 
     # ------------------------------------------------------------------
@@ -225,6 +249,9 @@ class NetworkNode:
             return
         if self.battery is not None:
             self.battery.draw_cpu(0.001 * len(a_window))
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter("windows_processed").inc()
         actions = self.sid.on_samples(a_window, t0)
         if self._blind_since is not None and self.sid.detector.initialized:
             self._close_blind_window()
@@ -252,6 +279,9 @@ class NetworkNode:
             return
         if self.battery is not None:
             self.battery.draw_cpu(0.001 * n_samples)
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter("windows_processed").inc()
         actions = self.sid.on_window_outcome(report, t0, initialized=initialized)
         self._dispatch(actions)
         self._dispatch(self.sid.on_timer(self.network.sim.now))
@@ -266,7 +296,17 @@ class NetworkNode:
     # Action dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, actions: list[SIDAction]) -> None:
+        trace = self.network.trace
         for action in actions:
+            if trace is not None:
+                trace.emit(
+                    CAT_DETECTION,
+                    _ACTION_EVENT_NAMES.get(
+                        type(action), "action"
+                    ),
+                    sim_time_s=self.network.sim.now,
+                    node_id=self.node_id,
+                )
             if isinstance(action, SetupClusterAction):
                 msg = ClusterSetupMsg(
                     head_id=self.node_id,
@@ -417,6 +457,14 @@ class NetworkNode:
         """Handle one frame delivered to this node's radio."""
         if not self.alive:
             self.network.resilience.frames_dropped_dead_node += 1
+            if self.network.trace is not None:
+                self.network.trace.emit(
+                    CAT_FRAME,
+                    "dead_drop",
+                    sim_time_s=now,
+                    node_id=self.node_id,
+                    src=frame.src,
+                )
             self.network.note_dead_drop(self.node_id)
             return
         if self.battery is not None:
@@ -484,6 +532,7 @@ class SensorNetwork:
         retransmit: Optional[RetransmitPolicy] = None,
         healing: Optional[SelfHealingConfig] = None,
         seed: RandomState = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if sink_id in positions:
             raise ConfigurationError(
@@ -492,13 +541,21 @@ class SensorNetwork:
         base = make_rng(seed)
         root = int(base.integers(2**31))
         self.sim = Simulator()
+        #: Optional telemetry bundle; None keeps every emission site a
+        #: single attribute check (the determinism contract of §12).
+        self.telemetry = telemetry
+        self.trace = telemetry.tracer if telemetry is not None else None
         self.channel = (
             channel
             if channel is not None
             else Channel(seed=derive_rng(root, "channel"))
         )
         self.mac = Mac(
-            self.sim, self.channel, mac_config, seed=derive_rng(root, "mac")
+            self.sim,
+            self.channel,
+            mac_config,
+            seed=derive_rng(root, "mac"),
+            tracer=self.trace,
         )
         self.positions = dict(positions)
         self.positions[sink_id] = sink_position
@@ -545,6 +602,7 @@ class SensorNetwork:
                 f"node {sid.node_id} has no deployed position"
             )
         node = NetworkNode(self, sid, battery)
+        sid.tracer = self.trace
         self.nodes[sid.node_id] = node
         return node
 
@@ -636,6 +694,14 @@ class SensorNetwork:
             self._deliver_direct(dst, frame)
 
     def _deliver_direct(self, dst: int, frame: Frame) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                CAT_FRAME,
+                "rx",
+                sim_time_s=self.sim.now,
+                node_id=dst,
+                src=frame.src,
+            )
         if self.heal is not None and frame.src in self.heal.dead:
             # Heartbeat evidence: a frame from a declared-dead node
             # proves it alive (false positive under burst loss) —

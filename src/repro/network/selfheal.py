@@ -36,6 +36,7 @@ import networkx as nx
 from repro.errors import ConfigurationError
 from repro.network.messages import Frame
 from repro.network.routing import RoutingTable
+from repro.telemetry.events import CAT_DUTYCYCLE, CAT_HEAL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.nodeproc import SensorNetwork
@@ -155,6 +156,14 @@ class SelfHealingRuntime:
             [n for n in net.graph if n not in self.dead]
         )
         net.resilience.reroutes += 1
+        if net.trace is not None:
+            net.trace.emit(
+                CAT_HEAL,
+                "reroute",
+                sim_time_s=net.sim.now,
+                n_dead=len(self.dead),
+                n_sentinel=len(self.no_relay),
+            )
 
     def declare_dead(self, node_id: int) -> None:
         """Mark a neighbour dead and reroute the orphaned subtree."""
@@ -162,6 +171,14 @@ class SelfHealingRuntime:
             return
         self.dead.add(node_id)
         self.network.resilience.parents_declared_dead += 1
+        if self.network.trace is not None:
+            self.network.trace.emit(
+                CAT_HEAL,
+                "dead_parent",
+                sim_time_s=self.network.sim.now,
+                node_id=node_id,
+                missed_acks=self._missed_acks.get(node_id, 0),
+            )
         logger.info(
             "node %d declared dead after %d missed ack(s); rerouting",
             node_id,
@@ -174,6 +191,13 @@ class SelfHealingRuntime:
         self._missed_acks.pop(node_id, None)
         if node_id in self.dead:
             self.dead.discard(node_id)
+            if self.network.trace is not None:
+                self.network.trace.emit(
+                    CAT_HEAL,
+                    "rejoin",
+                    sim_time_s=self.network.sim.now,
+                    node_id=node_id,
+                )
             self.rebuild()
 
     def demote(self, node_id: int) -> None:
@@ -185,6 +209,14 @@ class SelfHealingRuntime:
             return
         self.no_relay.add(node_id)
         self.network.resilience.sentinel_demotions += 1
+        if self.network.trace is not None:
+            self.network.trace.emit(
+                CAT_DUTYCYCLE,
+                "demote",
+                sim_time_s=self.network.sim.now,
+                node_id=node_id,
+                reason="battery_low",
+            )
         logger.info(
             "node %d demoted to sentinel (battery low); rerouting", node_id
         )
@@ -210,6 +242,13 @@ class SelfHealingRuntime:
         """
         if self._pending.get(src, 0) >= self.config.relay_queue_cap:
             self.network.resilience.relay_queue_drops += 1
+            if self.network.trace is not None:
+                self.network.trace.emit(
+                    CAT_HEAL,
+                    "relay_queue_drop",
+                    sim_time_s=self.network.sim.now,
+                    node_id=src,
+                )
             return
         self._pending[src] = self._pending.get(src, 0) + 1
         self._attempt(src, dst, payload, 0, False, on_abandon)
@@ -301,6 +340,14 @@ class SelfHealingRuntime:
             self._missed_acks.pop(next_hop, None)
             if recovering:
                 net.resilience.frames_healed += 1
+                if net.trace is not None:
+                    net.trace.emit(
+                        CAT_HEAL,
+                        "healed",
+                        sim_time_s=net.sim.now,
+                        node_id=src,
+                        via=next_hop,
+                    )
             self._release(src)
             net._deliver(next_hop, sent)
 
@@ -333,6 +380,15 @@ class SelfHealingRuntime:
         """One missed ack: accrue evidence, then retry or abandon."""
         count = self._missed_acks.get(bad_hop, 0) + 1
         self._missed_acks[bad_hop] = count
+        if self.network.trace is not None:
+            self.network.trace.emit(
+                CAT_HEAL,
+                "missed_ack",
+                sim_time_s=self.network.sim.now,
+                node_id=src,
+                bad_hop=bad_hop,
+                evidence=count,
+            )
         rerouted = False
         if (
             count >= self.config.failure_threshold
@@ -343,6 +399,14 @@ class SelfHealingRuntime:
             rerouted = True
         if attempt + 1 >= self.config.hop_max_attempts:
             self.network.resilience.relay_frames_abandoned += 1
+            if self.network.trace is not None:
+                self.network.trace.emit(
+                    CAT_HEAL,
+                    "abandon",
+                    sim_time_s=self.network.sim.now,
+                    node_id=src,
+                    attempts=attempt + 1,
+                )
             self._release(src)
             if on_abandon is not None:
                 on_abandon(frame)

@@ -52,6 +52,8 @@ from repro.scenario.deployment import DeployedNode, GridDeployment
 from repro.sensors.accelerometer import Accelerometer
 from repro.scenario.ship import ShipTrack
 from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
+from repro.telemetry.session import Telemetry, maybe_stage
+from repro.telemetry.tracer import Tracer
 from repro.types import AccelTrace, TimeWindow
 
 if TYPE_CHECKING:
@@ -122,6 +124,7 @@ def _fleet_offline_reports(
     deployment: GridDeployment,
     traces: dict[int, AccelTrace],
     det_cfg: NodeDetectorConfig,
+    tracer: Optional[Tracer] = None,
 ) -> dict[int, list[NodeReport]] | None:
     """Whole-fleet lockstep detection over a shared sample grid.
 
@@ -138,6 +141,7 @@ def _fleet_offline_reports(
         return None
     a = preprocess_z_counts_batch(np.stack(zs), det_cfg.preprocess)
     fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    fleet.tracer = tracer
     return fleet.process_samples(
         a, [traces[n.node_id].t0 for n in nodes]
     )
@@ -189,6 +193,7 @@ def run_offline_scenario(
     keep_traces: bool = False,
     seed: RandomState = None,
     detection_engine: str = "fleet",
+    telemetry: Optional[Telemetry] = None,
 ) -> OfflineScenarioResult:
     """Synthesise, detect, and fuse one scenario without a radio.
 
@@ -200,37 +205,47 @@ def run_offline_scenario(
     walk (the default; bit-identical to the per-node reference) or the
     per-node ``"reference"`` loop.  The fleet path silently falls back
     to the reference when the traces do not share one sample grid.
+
+    ``telemetry`` (optional) traces detection events and profiles the
+    synthesis/detection/fusion stages; ``None`` — the default — keeps
+    the run free of any instrumentation overhead and bit-identical to
+    a run before telemetry existed.
     """
     if detection_engine not in ("fleet", "reference"):
         raise ConfigurationError(
             f"detection_engine must be 'fleet' or 'reference', "
             f"got {detection_engine!r}"
         )
+    tracer = telemetry.tracer if telemetry is not None else None
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
     det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
-    traces = synthesize_fleet_traces(
-        deployment,
-        ships,
-        synth,
-        disturbances_by_node=disturbances_by_node,
-        seed=seed,
-    )
-    reports_by_node: dict[int, list[NodeReport]] | None = None
-    if detection_engine == "fleet":
-        reports_by_node = _fleet_offline_reports(deployment, traces, det_cfg)
-    if reports_by_node is None:
-        reports_by_node = {}
-        for node in deployment:
-            detector = NodeDetector(
-                node.node_id,
-                node.anchor,
-                det_cfg,
-                row=node.row,
-                column=node.column,
+    with maybe_stage(telemetry, "synthesis"):
+        traces = synthesize_fleet_traces(
+            deployment,
+            ships,
+            synth,
+            disturbances_by_node=disturbances_by_node,
+            seed=seed,
+        )
+    with maybe_stage(telemetry, "detection"):
+        reports_by_node: dict[int, list[NodeReport]] | None = None
+        if detection_engine == "fleet":
+            reports_by_node = _fleet_offline_reports(
+                deployment, traces, det_cfg, tracer=tracer
             )
-            reports_by_node[node.node_id] = detector.process_trace(
-                traces[node.node_id]
-            )
+        if reports_by_node is None:
+            reports_by_node = {}
+            for node in deployment:
+                detector = NodeDetector(
+                    node.node_id,
+                    node.anchor,
+                    det_cfg,
+                    row=node.row,
+                    column=node.column,
+                )
+                reports_by_node[node.node_id] = detector.process_trace(
+                    traces[node.node_id]
+                )
     merged_by_node = {
         nid: merge_reports(reports)
         for nid, reports in reports_by_node.items()
@@ -242,9 +257,10 @@ def run_offline_scenario(
     )
     if track_hypothesis is None and ships:
         track_hypothesis = ships[0].travel_line()
-    outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
-        merged_all, cluster_config, track_hypothesis
-    )
+    with maybe_stage(telemetry, "fusion"):
+        outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
+            merged_all, cluster_config, track_hypothesis
+        )
 
     return OfflineScenarioResult(
         cluster_outcomes=outcomes,
@@ -415,6 +431,7 @@ def run_network_scenario(
     resync_interval_s: float | None = 120.0,
     seed: RandomState = None,
     detection_engine: str = "fleet",
+    telemetry: Optional[Telemetry] = None,
 ) -> NetworkScenarioResult:
     """Run one scenario through the full network stack.
 
@@ -449,17 +466,24 @@ def run_network_scenario(
     (bit-identical to the reference, including planned crash windows);
     ``"reference"`` feeds raw windows into each node's own detector at
     event time.
+
+    ``telemetry`` (optional) traces the run end to end — frame
+    tx/rx/drop, heal/fault/detection events, profiling spans — and
+    mirrors the terminal counters into its metrics registry.  ``None``
+    (the default) installs nothing: every emission site reduces to one
+    attribute check and the run stays bit-identical to seed.
     """
     if detection_engine not in ("fleet", "reference"):
         raise ConfigurationError(
             f"detection_engine must be 'fleet' or 'reference', "
             f"got {detection_engine!r}"
         )
+    tracer = telemetry.tracer if telemetry is not None else None
     base = make_rng(seed)
     root = int(base.integers(2**31))
     cfg = sid_config if sid_config is not None else SIDNodeConfig()
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
-    injector = FaultInjector(faults)
+    injector = FaultInjector(faults, tracer=tracer)
     if injector.active:
         # Degraded-quorum evaluation rides along with fault injection
         # unless the caller already configured it explicitly.
@@ -483,17 +507,18 @@ def run_network_scenario(
             wrapped.append((node.mote, node.mote.accelerometer))
             node.mote.accelerometer = wrapper
     try:
-        traces = synthesize_fleet_traces(
-            deployment,
-            ships,
-            synth,
-            disturbances_by_node=disturbances_by_node,
-            seed=derive_rng(root, "synthesis"),
-        )
+        with maybe_stage(telemetry, "synthesis"):
+            traces = synthesize_fleet_traces(
+                deployment,
+                ships,
+                synth,
+                disturbances_by_node=disturbances_by_node,
+                seed=derive_rng(root, "synthesis"),
+            )
     finally:
         for mote, healthy in wrapped:
             mote.accelerometer = healthy
-    sink = Sink()
+    sink = Sink(tracer=tracer)
     channel = Channel(channel_config, seed=derive_rng(root, "channel"))
     network = SensorNetwork(
         positions=deployment.positions(),
@@ -505,6 +530,7 @@ def run_network_scenario(
         retransmit=retransmit,
         healing=healing,
         seed=derive_rng(root, "network"),
+        telemetry=telemetry,
     )
     injector.install(network)
     if healing is not None and healing.demote_battery_fraction is not None:
@@ -524,13 +550,16 @@ def run_network_scenario(
     # The fleet precompute assumes no baseline resets mid-run; a
     # healing-armed run can cold-restart detectors at reboot time, so
     # it always takes the reference feed path.
-    outcomes = (
-        _fleet_network_outcomes(
-            deployment, traces, cfg.detector, faults, network.sim.now
-        )
-        if detection_engine == "fleet" and healing is None
-        else None
-    )
+    # The precompute's FleetDetector stays untraced: its alarms replay
+    # through each SIDNode at event time, which is where they are
+    # emitted (tracing both would double-count every alarm).
+    if detection_engine == "fleet" and healing is None:
+        with maybe_stage(telemetry, "detection_precompute"):
+            outcomes = _fleet_network_outcomes(
+                deployment, traces, cfg.detector, faults, network.sim.now
+            )
+    else:
+        outcomes = None
     for node in deployment:
         sid = SIDNode(
             node.node_id,
@@ -603,7 +632,8 @@ def run_network_scenario(
                 network.sim.schedule_at(t, _resync, node)
             t += resync_interval_s
 
-    network.sim.run()
+    with maybe_stage(telemetry, "event_loop"):
+        network.sim.run()
     sink.flush()
     network.finalize_resilience()
     errors = [
@@ -620,6 +650,12 @@ def run_network_scenario(
             **injector.stats.as_dict(),
             **network.resilience.as_dict(),
         }
+    if telemetry is not None:
+        # Mirror the run's terminal counters into the metrics registry
+        # so traces and metrics agree without a second bookkeeping path.
+        telemetry.record_stats("mac", network.mac.stats.as_dict())
+        if fault_stats:
+            telemetry.record_stats("fault_stats", fault_stats)
     return NetworkScenarioResult(
         decisions=sink.decisions,
         mac_stats=network.mac.stats.as_dict(),
@@ -764,6 +800,7 @@ def run_dutycycled_scenario(
     faults: FaultPlan | None = None,
     seed: RandomState = None,
     detection_engine: str = "fleet",
+    telemetry: Optional[Telemetry] = None,
 ) -> DutyCycledScenarioResult:
     """Run the Sec. IV-A sentinel/wake-up policy over one scenario.
 
@@ -788,6 +825,10 @@ def run_dutycycled_scenario(
     positive and all traces share one sample grid (it falls back to
     the reference otherwise); ``"reference"`` forces the sequential
     per-window loop.
+
+    ``telemetry`` (optional) traces duty-cycle policy activity —
+    fleet wake-ups and sentinel demotions — and records profiling
+    spans; ``None`` (the default) adds nothing to the run.
     """
     from dataclasses import replace
 
@@ -801,15 +842,18 @@ def run_dutycycled_scenario(
 
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
     det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
-    traces = synthesize_fleet_traces(
-        deployment,
-        ships,
-        synth,
-        disturbances_by_node=disturbances_by_node,
-        seed=seed,
-    )
+    with maybe_stage(telemetry, "synthesis"):
+        traces = synthesize_fleet_traces(
+            deployment,
+            ships,
+            synth,
+            disturbances_by_node=disturbances_by_node,
+            seed=seed,
+        )
     controller = DutyCycleController(
-        [n.node_id for n in deployment], duty_config
+        [n.node_id for n in deployment],
+        duty_config,
+        tracer=telemetry.tracer if telemetry is not None else None,
     )
     # Sentinels run a coarse (decimated) detection; the wake-up raises
     # the rate back to full (Sec. IV-A).  Coarse detection keeps its own
@@ -837,9 +881,10 @@ def run_dutycycled_scenario(
     # The group-vectorized walk has no battery model; faulted runs take
     # the sequential reference loop, which bills and demotes per window.
     if detection_engine == "fleet" and not plan_active:
-        fleet_result = _dutycycled_fleet_reports(
-            deployment, traces, det_cfg, coarse_cfg, decimation, controller
-        )
+        with maybe_stage(telemetry, "detection"):
+            fleet_result = _dutycycled_fleet_reports(
+                deployment, traces, det_cfg, coarse_cfg, decimation, controller
+            )
         if fleet_result is not None:
             reports_by_node, first_alarm = fleet_result
             return DutyCycledScenarioResult(

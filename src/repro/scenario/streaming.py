@@ -59,6 +59,7 @@ from repro.scenario.synthesis import (
     wake_trains_for_node,
 )
 from repro.detection.cluster import TemporaryClusterConfig, TravelLine
+from repro.telemetry.session import Telemetry, maybe_stage
 
 
 class StreamingFleetSynthesizer:
@@ -197,6 +198,7 @@ def run_streaming_scenario(
     track_hypothesis: TravelLine | None = None,
     seed: RandomState = None,
     chunk_s: float = 20.0,
+    telemetry: Optional[Telemetry] = None,
 ) -> OfflineScenarioResult:
     """The offline scenario with synthesis fused into detection.
 
@@ -206,6 +208,11 @@ def run_streaming_scenario(
     preprocessor into the fleet window walk ``chunk_s`` seconds at a
     time, capping peak memory at O(nodes x chunk).  ``traces`` in the
     result is empty (there is nothing to keep).
+
+    ``telemetry`` (optional) records a profiling span per streaming
+    stage (synthesize/preprocess/detect, once per chunk, plus the
+    final fusion) and traces fleet alarms; ``None`` (the default)
+    adds nothing to the run.
     """
     if chunk_s <= 0:
         raise ConfigurationError(f"chunk_s must be positive, got {chunk_s}")
@@ -230,10 +237,27 @@ def run_streaming_scenario(
     )
     pre = StreamingPreprocessor(source.n_nodes, det_cfg.preprocess)
     fleet = FleetDetector.from_deployment(deployment, det_cfg)
+    if telemetry is not None:
+        fleet.tracer = telemetry.tracer
     stream = fleet.stream(source.t0s)
     chunk_samples = max(int(round(chunk_s * det_cfg.rate_hz)), 1)
-    for z_chunk in source.chunks(chunk_samples):
-        stream.push(pre.push(z_chunk))
+    if telemetry is None:
+        for z_chunk in source.chunks(chunk_samples):
+            stream.push(pre.push(z_chunk))
+    else:
+        # Instrumented walk: one profiling span per streaming stage per
+        # chunk.  The arithmetic is identical to the untraced loop.
+        chunk_index = 0
+        while True:
+            with telemetry.stage("synthesize_chunk", chunk=chunk_index):
+                z_chunk = source.next_chunk(chunk_samples)
+            if z_chunk is None:
+                break
+            with telemetry.stage("preprocess_chunk", chunk=chunk_index):
+                a_chunk = pre.push(z_chunk)
+            with telemetry.stage("detect_chunk", chunk=chunk_index):
+                stream.push(a_chunk)
+            chunk_index += 1
     reports_by_node = stream.finish()
     merged_by_node = {
         nid: merge_reports(reports)
@@ -245,9 +269,10 @@ def run_streaming_scenario(
     )
     if track_hypothesis is None and ships:
         track_hypothesis = ships[0].travel_line()
-    outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
-        merged_all, cluster_config, track_hypothesis
-    )
+    with maybe_stage(telemetry, "fusion"):
+        outcomes, cluster_event, cluster_report = fuse_sequential_clusters(
+            merged_all, cluster_config, track_hypothesis
+        )
     return OfflineScenarioResult(
         cluster_outcomes=outcomes,
         reports_by_node=reports_by_node,

@@ -1,0 +1,10 @@
+"""``python -m repro.telemetry`` dispatch."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Chrome trace-event export — open traces in Perfetto/chrome://tracing.
+
+Mapping:
+
+- events with ``sim_time_s`` → pid ``"simulation"``, ``ts`` at
+  simulated microseconds, ``tid`` the node id (0 for network-wide
+  events) — scrubbing the timeline scrubs *scenario* time;
+- wall-only events (profiling spans, setup) → pid ``"wall"``, ``ts``
+  relative to the first wall timestamp in the trace;
+- spans become ``"X"`` (complete) slices with ``dur``; points become
+  ``"i"`` (instant) events with thread scope.
+
+The output is the stable ``{"traceEvents": [...]}`` object format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.telemetry.events import KIND_SPAN, TraceEvent
+
+#: Synthetic process ids for the two time axes.
+PID_SIMULATION = 1
+PID_WALL = 2
+
+_US = 1e6
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Convert a trace to a Chrome trace-event JSON object."""
+    events = list(events)
+    wall_origin = min(
+        (e.wall_time_s for e in events), default=0.0
+    )
+    trace: list[dict[str, Any]] = [
+        _process_name(PID_SIMULATION, "simulation"),
+        _process_name(PID_WALL, "wall"),
+    ]
+    for event in events:
+        if event.sim_time_s is not None:
+            pid = PID_SIMULATION
+            ts = event.sim_time_s * _US
+            tid = event.node_id if event.node_id is not None else 0
+        else:
+            pid = PID_WALL
+            ts = (event.wall_time_s - wall_origin) * _US
+            tid = event.node_id if event.node_id is not None else 0
+        record: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "args": {k: _jsonable(v) for k, v in event.fields},
+        }
+        record["args"]["seq"] = event.seq
+        if event.kind == KIND_SPAN:
+            record["ph"] = "X"
+            record["dur"] = (event.wall_dur_s or 0.0) * _US
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace.append(record)
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: str | Path
+) -> Path:
+    """Write the Chrome trace-event JSON for ``events`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events), fh)
+    return path
+
+
+def _process_name(pid: int, name: str) -> dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value

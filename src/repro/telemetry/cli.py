@@ -1,0 +1,86 @@
+"""Command-line front end: ``python -m repro.telemetry <cmd>``.
+
+Two subcommands:
+
+- ``report <trace.jsonl>`` — summarise a run: event counts, alarm
+  timeline, per-stage latency percentiles, per-node frame loss.
+  ``--format json`` emits the raw summary document.
+- ``chrome <trace.jsonl> <out.json>`` — convert a JSONL trace to
+  Chrome trace-event format for Perfetto/chrome://tracing.
+
+Exit status: 0 on success, 2 on usage errors (bad path, bad schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.chrome import write_chrome_trace
+from repro.telemetry.report import format_summary, summarize
+from repro.telemetry.sinks import read_trace_jsonl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect SID telemetry traces (see DESIGN.md §12).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="summarise a JSONL trace"
+    )
+    report.add_argument("trace", help="path to a trace .jsonl file")
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+
+    chrome = sub.add_parser(
+        "chrome",
+        help="convert a JSONL trace to Chrome trace-event JSON",
+    )
+    chrome.add_argument("trace", help="path to a trace .jsonl file")
+    chrome.add_argument(
+        "out", help="output path for the trace-event JSON"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        events = read_trace_jsonl(args.trace)
+    except (OSError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "report":
+        summary = summarize(events)
+        try:
+            if args.format == "json":
+                json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+                sys.stdout.write("\n")
+            else:
+                print(format_summary(summary))
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; not an error.
+            return 0
+        return 0
+
+    out = write_chrome_trace(events, args.out)
+    print(f"wrote {out} ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

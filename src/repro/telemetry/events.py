@@ -1,0 +1,171 @@
+"""Structured, schema-versioned trace events.
+
+A :class:`TraceEvent` is an immutable record carrying *both* time
+axes: ``sim_time_s`` (the discrete-event simulator's clock, when the
+event belongs to a run) and ``wall_time_s`` (the injectable telemetry
+clock).  Events are either points (``kind="point"``) or spans
+(``kind="span"``, with ``wall_dur_s`` set when the span closed).
+
+Every event stamps ``schema`` so offline tooling can reject traces it
+does not understand.  ``fields`` is stored as a key-sorted tuple of
+``(key, value)`` pairs with values coerced to JSON-native scalars, so
+``TraceEvent.from_json_dict(e.to_json_dict()) == e`` holds exactly —
+the JSONL round-trip test relies on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Version of the on-disk event schema.  Bump on any field change.
+SCHEMA_VERSION = 1
+
+#: Event categories — one per instrumented subsystem.
+CAT_FRAME = "frame"
+CAT_HEAL = "heal"
+CAT_FAULT = "fault"
+CAT_DUTYCYCLE = "dutycycle"
+CAT_DETECTION = "detection"
+CAT_PROFILING = "profiling"
+
+CATEGORIES = (
+    CAT_FRAME,
+    CAT_HEAL,
+    CAT_FAULT,
+    CAT_DUTYCYCLE,
+    CAT_DETECTION,
+    CAT_PROFILING,
+)
+
+KIND_POINT = "point"
+KIND_SPAN = "span"
+
+#: JSON-native scalar types accepted as field values.
+FieldValue = Any
+
+
+def coerce_field_value(value: Any) -> Any:
+    """Coerce a field value to a JSON-native scalar.
+
+    Accepts bools, ints, floats, strings, ``None`` and numpy scalars
+    (via ``.item()``); sequences become tuples of coerced elements.
+    Anything else is stringified via ``repr`` so emitting never raises
+    mid-run.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    item = getattr(value, "item", None)
+    if item is not None and callable(item):
+        try:
+            return coerce_field_value(item())
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return tuple(coerce_field_value(v) for v in value)
+    return repr(value)
+
+
+def freeze_fields(
+    fields: Mapping[str, Any],
+) -> tuple[tuple[str, Any], ...]:
+    """Normalise a field mapping to a key-sorted tuple of pairs."""
+    return tuple(
+        (key, coerce_field_value(fields[key])) for key in sorted(fields)
+    )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured telemetry event (point or closed span)."""
+
+    seq: int
+    kind: str
+    category: str
+    name: str
+    wall_time_s: float
+    sim_time_s: float | None = None
+    wall_dur_s: float | None = None
+    node_id: int | None = None
+    fields: tuple[tuple[str, Any], ...] = ()
+    schema: int = SCHEMA_VERSION
+
+    def field(self, key: str, default: Any = None) -> Any:
+        """Look up one field value by key."""
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-ready dict (omits unset optionals)."""
+        out: dict[str, Any] = {
+            "schema": self.schema,
+            "seq": self.seq,
+            "kind": self.kind,
+            "category": self.category,
+            "name": self.name,
+            "wall_time_s": self.wall_time_s,
+        }
+        if self.sim_time_s is not None:
+            out["sim_time_s"] = self.sim_time_s
+        if self.wall_dur_s is not None:
+            out["wall_dur_s"] = self.wall_dur_s
+        if self.node_id is not None:
+            out["node_id"] = self.node_id
+        if self.fields:
+            out["fields"] = {k: _jsonify(v) for k, v in self.fields}
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_json_dict` output."""
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace schema {schema!r}; this build reads "
+                f"schema {SCHEMA_VERSION}"
+            )
+        fields = data.get("fields", {})
+        return cls(
+            seq=int(data["seq"]),
+            kind=str(data["kind"]),
+            category=str(data["category"]),
+            name=str(data["name"]),
+            wall_time_s=float(data["wall_time_s"]),
+            sim_time_s=(
+                float(data["sim_time_s"])
+                if "sim_time_s" in data
+                else None
+            ),
+            wall_dur_s=(
+                float(data["wall_dur_s"])
+                if "wall_dur_s" in data
+                else None
+            ),
+            node_id=(
+                int(data["node_id"]) if "node_id" in data else None
+            ),
+            fields=tuple(
+                (key, _tuplify(fields[key])) for key in sorted(fields)
+            ),
+            schema=SCHEMA_VERSION,
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value

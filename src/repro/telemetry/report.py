@@ -1,0 +1,176 @@
+"""Offline trace summarisation behind ``repro.telemetry report``.
+
+Pure functions from an event list to JSON-ready summary structures,
+so tests and the CLI share one implementation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Sequence
+
+from repro.telemetry.events import (
+    CAT_DETECTION,
+    CAT_FRAME,
+    CAT_PROFILING,
+    KIND_SPAN,
+    TraceEvent,
+)
+from repro.telemetry.metrics import Histogram
+
+#: Frame-category event names that mean "this frame never arrived".
+_LOSS_NAMES = frozenset({"drop", "dead_drop"})
+
+
+def event_counts(
+    events: Sequence[TraceEvent],
+) -> dict[str, dict[str, int]]:
+    """Event tallies per category, then per event name."""
+    per_cat: dict[str, TallyCounter] = {}
+    for event in events:
+        per_cat.setdefault(event.category, TallyCounter())[
+            event.name
+        ] += 1
+    return {
+        cat: dict(sorted(per_cat[cat].items()))
+        for cat in sorted(per_cat)
+    }
+
+
+def alarm_timeline(
+    events: Sequence[TraceEvent],
+) -> list[dict[str, Any]]:
+    """Detection alarms and sink decisions, ordered by sim time."""
+    rows = [
+        {
+            "sim_time_s": event.sim_time_s,
+            "name": event.name,
+            "node_id": event.node_id,
+            **{k: v for k, v in event.fields},
+        }
+        for event in events
+        if event.category == CAT_DETECTION
+        and event.name in ("alarm", "sink_decision")
+    ]
+    rows.sort(
+        key=lambda r: (
+            r["sim_time_s"] if r["sim_time_s"] is not None else -1.0,
+            r["name"],
+        )
+    )
+    return rows
+
+
+def stage_latencies(
+    events: Sequence[TraceEvent],
+) -> dict[str, dict[str, float]]:
+    """Per-stage wall-time percentiles from profiling spans."""
+    per_stage: dict[str, Histogram] = {}
+    for event in events:
+        if event.category != CAT_PROFILING or event.kind != KIND_SPAN:
+            continue
+        if event.wall_dur_s is None:
+            continue
+        per_stage.setdefault(event.name, Histogram()).observe(
+            event.wall_dur_s
+        )
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(per_stage):
+        hist = per_stage[name]
+        out[name] = {
+            "count": hist.count,
+            "total_s": hist.total,
+            "p50_s": hist.percentile(50),
+            "p90_s": hist.percentile(90),
+            "p99_s": hist.percentile(99),
+        }
+    return out
+
+
+def frame_loss(
+    events: Sequence[TraceEvent],
+) -> dict[int, dict[str, int]]:
+    """Per-node frame accounting: tx / rx / lost (drop + dead_drop)."""
+    per_node: dict[int, dict[str, int]] = {}
+    for event in events:
+        if event.category != CAT_FRAME or event.node_id is None:
+            continue
+        row = per_node.setdefault(
+            event.node_id, {"tx": 0, "rx": 0, "lost": 0}
+        )
+        if event.name == "tx":
+            row["tx"] += 1
+        elif event.name == "rx":
+            row["rx"] += 1
+        elif event.name in _LOSS_NAMES:
+            row["lost"] += 1
+    return dict(sorted(per_node.items()))
+
+
+def summarize(events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Full run summary — what the CLI prints as JSON."""
+    sim_times = [
+        e.sim_time_s for e in events if e.sim_time_s is not None
+    ]
+    return {
+        "n_events": len(events),
+        "sim_span_s": (
+            [min(sim_times), max(sim_times)] if sim_times else None
+        ),
+        "event_counts": event_counts(events),
+        "alarms": alarm_timeline(events),
+        "stage_latencies": stage_latencies(events),
+        "frame_loss": frame_loss(events),
+    }
+
+
+def format_summary(summary: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize` output."""
+    lines: list[str] = []
+    span = summary["sim_span_s"]
+    lines.append(
+        f"{summary['n_events']} events"
+        + (
+            f", sim time {span[0]:.2f}s – {span[1]:.2f}s"
+            if span
+            else ""
+        )
+    )
+    lines.append("")
+    lines.append("event counts:")
+    for cat, names in summary["event_counts"].items():
+        total = sum(names.values())
+        detail = ", ".join(f"{n}={c}" for n, c in names.items())
+        lines.append(f"  {cat:<12} {total:>7}  ({detail})")
+    if summary["alarms"]:
+        lines.append("")
+        lines.append("alarm timeline:")
+        for row in summary["alarms"]:
+            t = row["sim_time_s"]
+            where = (
+                f"node {row['node_id']}"
+                if row.get("node_id") is not None
+                else "sink"
+            )
+            lines.append(
+                f"  t={t:8.2f}s  {row['name']:<14} {where}"
+            )
+    if summary["stage_latencies"]:
+        lines.append("")
+        lines.append("stage latency (wall):")
+        for name, row in summary["stage_latencies"].items():
+            lines.append(
+                f"  {name:<22} n={row['count']:<5} "
+                f"p50={row['p50_s'] * 1e3:8.3f}ms "
+                f"p90={row['p90_s'] * 1e3:8.3f}ms "
+                f"p99={row['p99_s'] * 1e3:8.3f}ms"
+            )
+    if summary["frame_loss"]:
+        lines.append("")
+        lines.append("per-node frames (tx/rx/lost):")
+        for node_id, row in summary["frame_loss"].items():
+            lines.append(
+                f"  node {node_id:<4} tx={row['tx']:<6} "
+                f"rx={row['rx']:<6} lost={row['lost']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""The event emitter: point events and wall-time spans.
+
+Design constraint (ISSUE 7): telemetry must be out-of-band.  Code
+under instrumentation holds an ``Optional[Tracer]`` and guards every
+emission site with ``if tracer is not None`` — the disabled path is a
+single attribute check, draws no RNG, allocates nothing, and sends no
+frames.  The tracer itself reads wall time only through the injected
+clock (``repro.telemetry.clock``), keeping DET001 clean.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from repro.telemetry.clock import Clock, perf_clock
+from repro.telemetry.events import (
+    KIND_POINT,
+    KIND_SPAN,
+    TraceEvent,
+    freeze_fields,
+)
+from repro.telemetry.sinks import TraceSink
+
+
+class Tracer:
+    """Emits structured events to one or more sinks, in order."""
+
+    def __init__(
+        self,
+        sinks: Sequence[TraceSink],
+        clock: Clock = perf_clock,
+    ) -> None:
+        self._sinks = tuple(sinks)
+        self._clock = clock
+        self._seq = 0
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        *,
+        sim_time_s: float | None = None,
+        node_id: int | None = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        """Emit a point event and return it."""
+        event = TraceEvent(
+            seq=self._next_seq(),
+            kind=KIND_POINT,
+            category=category,
+            name=name,
+            wall_time_s=self._clock(),
+            sim_time_s=sim_time_s,
+            node_id=node_id,
+            fields=freeze_fields(fields),
+        )
+        self._write(event)
+        return event
+
+    @contextmanager
+    def span(
+        self,
+        category: str,
+        name: str,
+        *,
+        sim_time_s: float | None = None,
+        node_id: int | None = None,
+        **fields: Any,
+    ) -> Iterator["SpanHandle"]:
+        """Measure a wall-time span; the event is emitted on exit.
+
+        The span's ``wall_time_s`` is its start, ``wall_dur_s`` the
+        elapsed clock time at exit.  Extra fields may be attached to
+        the handle inside the block.
+        """
+        seq = self._next_seq()
+        start = self._clock()
+        handle = SpanHandle(dict(fields))
+        try:
+            yield handle
+        finally:
+            event = TraceEvent(
+                seq=seq,
+                kind=KIND_SPAN,
+                category=category,
+                name=name,
+                wall_time_s=start,
+                sim_time_s=sim_time_s,
+                wall_dur_s=self._clock() - start,
+                node_id=node_id,
+                fields=freeze_fields(handle.fields),
+            )
+            self._write(event)
+            handle.event = event
+
+    def flush(self) -> None:
+        for sink in self._sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _write(self, event: TraceEvent) -> None:
+        for sink in self._sinks:
+            sink.write(event)
+
+
+class SpanHandle:
+    """Mutable holder for fields attached while a span is open."""
+
+    def __init__(self, fields: dict[str, Any]) -> None:
+        self.fields = fields
+        self.event: TraceEvent | None = None
+
+    def set(self, **fields: Any) -> None:
+        self.fields.update(fields)

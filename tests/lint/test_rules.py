@@ -362,6 +362,60 @@ def test_imp001_exempts_init_reexports() -> None:
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — print() in library code
+# ---------------------------------------------------------------------------
+
+OBS001_FIRING = """
+def report(x):
+    print("value:", x)
+    return x
+"""
+
+OBS001_CLEAN = """
+import logging
+
+logger = logging.getLogger(__name__)
+
+def report(x):
+    logger.info("value: %s", x)
+    return x
+"""
+
+
+def test_obs001_fires_on_library_print() -> None:
+    assert ids_at(OBS001_FIRING).count("OBS001") == 1
+
+
+def test_obs001_clean_on_logging() -> None:
+    assert "OBS001" not in ids_at(OBS001_CLEAN)
+
+
+def test_obs001_exempts_cli_modules() -> None:
+    assert "OBS001" not in ids_at(
+        OBS001_FIRING, path="src/repro/somepkg/cli.py"
+    )
+    assert "OBS001" not in ids_at(
+        OBS001_FIRING, path="src/repro/somepkg/__main__.py"
+    )
+
+
+def test_obs001_exempts_main_guarded_scripts() -> None:
+    src = OBS001_FIRING + '\nif __name__ == "__main__":\n    report(1)\n'
+    assert "OBS001" not in ids_at(src)
+
+
+def test_obs001_exempts_test_code() -> None:
+    assert "OBS001" not in ids_at(OBS001_FIRING, path=TEST)
+
+
+def test_obs001_ignores_shadowed_print() -> None:
+    src = "def f(print, x):\n    return print(x)\n"
+    # A locally bound name is still flagged: the rule is syntactic by
+    # design (shadowing print in library code is its own smell).
+    assert "OBS001" in ids_at(src)
+
+
+# ---------------------------------------------------------------------------
 # Cross-cutting engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -379,6 +433,7 @@ def test_every_registered_rule_has_fixture_coverage() -> None:
         "EXP001",
         "EXP002",
         "IMP001",
+        "OBS001",
     }
     assert {r.rule_id for r in all_rules()} == covered
 
