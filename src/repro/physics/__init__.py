@@ -56,7 +56,11 @@ from repro.physics.spectrum import (
     sea_state_spectrum,
 )
 from repro.physics.wake_train import WakeTrain
-from repro.physics.wavefield import AmbientWaveField, WaveComponent
+from repro.physics.wavefield import (
+    AmbientWaveField,
+    SpectralGrid,
+    WaveComponent,
+)
 
 __all__ = [
     "AmbientWaveField",
@@ -72,6 +76,7 @@ __all__ = [
     "SeaStateEstimate",
     "SeaStateEstimator",
     "SeaStateEstimatorConfig",
+    "SpectralGrid",
     "WakeTrain",
     "WaveComponent",
     "WaveSpectrum",

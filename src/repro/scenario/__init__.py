@@ -42,7 +42,11 @@ from repro.scenario.streaming import (
     StreamingFleetSynthesizer,
     run_streaming_scenario,
 )
-from repro.scenario.synthesis import SynthesisConfig, synthesize_fleet_traces
+from repro.scenario.synthesis import (
+    SYNTHESIS_METHODS,
+    SynthesisConfig,
+    synthesize_fleet_traces,
+)
 from repro.scenario.trace_io import (
     detect_on_trace,
     export_csv,
@@ -60,6 +64,7 @@ __all__ = [
     "GridDeployment",
     "NetworkScenarioResult",
     "OfflineScenarioResult",
+    "SYNTHESIS_METHODS",
     "ShipTrack",
     "StreamingFleetSynthesizer",
     "SynthesisConfig",

@@ -219,7 +219,7 @@ def run_offline_scenario(
     tracer = telemetry.tracer if telemetry is not None else None
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
     det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
-    with maybe_stage(telemetry, "synthesis"):
+    with maybe_stage(telemetry, "synthesis", method=synth.synthesis_method):
         traces = synthesize_fleet_traces(
             deployment,
             ships,
@@ -507,7 +507,7 @@ def run_network_scenario(
             wrapped.append((node.mote, node.mote.accelerometer))
             node.mote.accelerometer = wrapper
     try:
-        with maybe_stage(telemetry, "synthesis"):
+        with maybe_stage(telemetry, "synthesis", method=synth.synthesis_method):
             traces = synthesize_fleet_traces(
                 deployment,
                 ships,
@@ -842,7 +842,7 @@ def run_dutycycled_scenario(
 
     synth = synthesis_config if synthesis_config is not None else SynthesisConfig()
     det_cfg = detector_config if detector_config is not None else NodeDetectorConfig()
-    with maybe_stage(telemetry, "synthesis"):
+    with maybe_stage(telemetry, "synthesis", method=synth.synthesis_method):
         traces = synthesize_fleet_traces(
             deployment,
             ships,

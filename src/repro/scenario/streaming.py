@@ -26,6 +26,13 @@ Chunking invariants:
 - the causal preprocessing filters and the fleet window walk carry
   exact state across chunks.
 
+Under ``synthesis_method="spectral"`` the ambient term is instead one
+grid-length batched inverse FFT realised up front, and each chunk is a
+slice of that slab — float-identical to the offline fleet call, so the
+digitised counts match offline *by construction* (at the cost of an
+O(nodes x samples) ambient slab; the other synthesis terms and the
+detection walk stay chunked).
+
 The zero-phase ``"butter"`` preprocessing filter is global (its
 backward pass is anti-causal), so streaming requires one of the
 :data:`~repro.detection.preprocess.STREAMABLE_FILTER_KINDS`.
@@ -56,6 +63,7 @@ from repro.scenario.ship import ShipTrack
 from repro.scenario.synthesis import (
     SynthesisConfig,
     build_ambient_field,
+    fleet_spectral_grid,
     wake_trains_for_node,
 )
 from repro.detection.cluster import TemporaryClusterConfig, TravelLine
@@ -93,7 +101,6 @@ class StreamingFleetSynthesizer:
         # seed yields the same ambient realisation.
         base = make_rng(seed)
         root = int(base.integers(2**31))
-        self.field = build_ambient_field(cfg, seed=derive_rng(root, "ambient"))
         grids = [
             n.mote.sample_instants(cfg.t0, cfg.duration_s) for n in self.nodes
         ]
@@ -102,6 +109,11 @@ class StreamingFleetSynthesizer:
                 "streaming synthesis needs one shared fleet sample grid"
             )
         self.t = grids[0]
+        self.field = build_ambient_field(
+            cfg,
+            seed=derive_rng(root, "ambient"),
+            spectral_grid=fleet_spectral_grid(cfg, self.t),
+        )
         wakes = [ship.wake() for ship in ships]
         self._trains = [
             wake_trains_for_node(n, ships, cfg, wakes=wakes)
@@ -129,6 +141,23 @@ class StreamingFleetSynthesizer:
             float(n.mote.clock.local_time(float(self.t[0])))
             for n in self.nodes
         ]
+        # The spectral engine's one batched IFFT has no exact per-chunk
+        # form (a chunk is a slice of the grid-length transform), so the
+        # whole ambient slab is realised up front and chunks are carved
+        # out of it — float-identical to the offline fleet call, hence
+        # verbatim-equal counts by construction.  This trades the
+        # O(nodes x chunk) ambient memory of the time-domain engine for
+        # an O(nodes x samples) slab (wakes, disturbances, digitisation
+        # and detection stay chunked); pick "timedomain" when the
+        # memory ceiling matters more than synthesis speed.
+        self._ambient: Optional[np.ndarray] = None
+        if cfg.synthesis_method == "spectral":
+            self._ambient = self.field.vertical_acceleration_batch(
+                self._positions,
+                self.t,
+                responses=self._responses,
+                method="spectral",
+            )
         self._pos = 0
 
     @property
@@ -160,10 +189,13 @@ class StreamingFleetSynthesizer:
         if self._pos >= self.t.size:
             return None
         t_c = self.t[self._pos : self._pos + chunk_samples]
+        if self._ambient is not None:
+            az = self._ambient[:, self._pos : self._pos + t_c.size]
+        else:
+            az = self.field.vertical_acceleration_batch(
+                self._positions, t_c, responses=self._responses
+            )
         self._pos += t_c.size
-        az = self.field.vertical_acceleration_batch(
-            self._positions, t_c, responses=self._responses
-        )
         out = np.empty((len(self.nodes), t_c.size), dtype=np.int64)
         for i, node in enumerate(self.nodes):
             az_i = az[i]
@@ -249,7 +281,11 @@ def run_streaming_scenario(
         # chunk.  The arithmetic is identical to the untraced loop.
         chunk_index = 0
         while True:
-            with telemetry.stage("synthesize_chunk", chunk=chunk_index):
+            with telemetry.stage(
+                "synthesize_chunk",
+                chunk=chunk_index,
+                method=synth.synthesis_method,
+            ):
                 z_chunk = source.next_chunk(chunk_samples)
             if z_chunk is None:
                 break

@@ -1,0 +1,290 @@
+"""The spectral (inverse-FFT) engine must match the time-domain one.
+
+A grid-snapped field realises every component on an FFT bin, so both
+engines sum the exact same sinusoids; the only admissible difference is
+floating-point summation order, orders of magnitude below any physical
+scale.  Snapping itself must not perturb the random realisation: the
+RNG draw sequence is untouched, so a snapped and an unsnapped field
+from one seed share phases, directions and amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.spectrum import PiersonMoskowitzSpectrum, SeaState
+from repro.physics.wavefield import (
+    AmbientWaveField,
+    SpectralGrid,
+    _spreading_cdf_table,
+)
+from repro.types import Position
+
+DT = 0.02
+
+
+def _positions(nx: int, ny: int, spacing: float) -> list[Position]:
+    return [
+        Position(i * spacing, j * spacing)
+        for i in range(nx)
+        for j in range(ny)
+    ]
+
+
+def _snapped_field(
+    n_samples: int = 2048,
+    n_components: int = 48,
+    seed: int = 7,
+    oversample: int = 4,
+    sea_state: SeaState = SeaState.CALM,
+) -> AmbientWaveField:
+    spectrum = PiersonMoskowitzSpectrum(sea_state.wind_speed_mps)
+    return AmbientWaveField(
+        spectrum,
+        n_components=n_components,
+        seed=seed,
+        spectral_grid=SpectralGrid(
+            n_samples=n_samples, dt_s=DT, oversample=oversample
+        ),
+    )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [1, 17, 202])
+    @pytest.mark.parametrize("sea_state", [SeaState.CALM, SeaState.MODERATE])
+    def test_vertical_acceleration(self, seed, sea_state):
+        field = _snapped_field(seed=seed, sea_state=sea_state)
+        positions = _positions(3, 4, 25.0)
+        t = np.arange(2048) * DT
+        td = field.vertical_acceleration_batch(positions, t)
+        sp = field.vertical_acceleration_batch(
+            positions, t, method="spectral"
+        )
+        scale = max(np.abs(td).max(), 1e-12)
+        assert np.allclose(sp, td, rtol=0.0, atol=1e-10 * scale)
+
+    def test_vertical_with_mixed_responses(self):
+        field = _snapped_field()
+        positions = _positions(1, 3, 25.0)
+        t = np.arange(2048) * DT
+        responses = [
+            lambda f: np.ones_like(np.asarray(f, dtype=float)),
+            None,
+            lambda f: 1.0 / (1.0 + np.asarray(f, dtype=float)),
+        ]
+        td = field.vertical_acceleration_batch(
+            positions, t, responses=responses
+        )
+        sp = field.vertical_acceleration_batch(
+            positions, t, responses=responses, method="spectral"
+        )
+        scale = max(np.abs(td).max(), 1e-12)
+        assert np.allclose(sp, td, rtol=0.0, atol=1e-10 * scale)
+
+    def test_elevation(self):
+        field = _snapped_field()
+        positions = _positions(2, 2, 40.0)
+        t = np.arange(2048) * DT
+        td = field.elevation_batch(positions, t)
+        sp = field.elevation_batch(positions, t, method="spectral")
+        scale = max(np.abs(td).max(), 1e-12)
+        assert np.allclose(sp, td, rtol=0.0, atol=1e-10 * scale)
+
+    def test_horizontal(self):
+        field = _snapped_field()
+        positions = _positions(2, 3, 40.0)
+        t = np.arange(2048) * DT
+        ax_td, ay_td = field.horizontal_acceleration_batch(positions, t)
+        ax_sp, ay_sp = field.horizontal_acceleration_batch(
+            positions, t, method="spectral"
+        )
+        scale = max(np.abs(ax_td).max(), np.abs(ay_td).max(), 1e-12)
+        assert np.allclose(ax_sp, ax_td, rtol=0.0, atol=1e-10 * scale)
+        assert np.allclose(ay_sp, ay_td, rtol=0.0, atol=1e-10 * scale)
+
+    def test_nonzero_record_start(self):
+        # The record need not start at t = 0; the spectral rotation
+        # absorbs t0 into the per-component phase.
+        field = _snapped_field()
+        t = 123.46 + np.arange(1024) * DT
+        positions = _positions(2, 2, 25.0)
+        td = field.vertical_acceleration_batch(positions, t)
+        sp = field.vertical_acceleration_batch(
+            positions, t, method="spectral"
+        )
+        scale = max(np.abs(td).max(), 1e-12)
+        assert np.allclose(sp, td, rtol=0.0, atol=1e-10 * scale)
+
+    def test_record_shorter_than_grid(self):
+        # A record shorter than the grid's n_samples is a prefix of the
+        # same IFFT period.
+        field = _snapped_field(n_samples=2048)
+        t = np.arange(500) * DT
+        positions = _positions(1, 2, 25.0)
+        td = field.vertical_acceleration_batch(positions, t)
+        sp = field.vertical_acceleration_batch(
+            positions, t, method="spectral"
+        )
+        scale = max(np.abs(td).max(), 1e-12)
+        assert np.allclose(sp, td, rtol=0.0, atol=1e-10 * scale)
+
+
+class TestSnapping:
+    def test_snapping_preserves_rng_draws(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        plain = AmbientWaveField(spectrum, n_components=48, seed=5)
+        snapped = AmbientWaveField(
+            spectrum,
+            n_components=48,
+            seed=5,
+            spectral_grid=SpectralGrid(n_samples=2048, dt_s=DT),
+        )
+        for a, b in zip(plain.components, snapped.components):
+            assert a.amplitude == b.amplitude
+            assert a.phase_rad == b.phase_rad
+            assert a.direction_rad == b.direction_rad
+
+    def test_snap_displacement_bounded(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        plain = AmbientWaveField(spectrum, n_components=48, seed=5)
+        snapped = AmbientWaveField(
+            spectrum,
+            n_components=48,
+            seed=5,
+            spectral_grid=SpectralGrid(n_samples=2048, dt_s=DT),
+        )
+        grid_df = snapped.frequency_grid_hz
+        assert grid_df is not None
+        for a, b in zip(plain.components, snapped.components):
+            assert abs(a.frequency_hz - b.frequency_hz) <= 0.5 * grid_df
+
+    def test_snapped_frequencies_sit_on_bins(self):
+        field = _snapped_field()
+        grid_df = field.frequency_grid_hz
+        assert grid_df is not None
+        for c in field.components:
+            ratio = c.frequency_hz / grid_df
+            assert math.isclose(ratio, round(ratio), abs_tol=1e-9)
+            assert round(ratio) >= 1
+
+    def test_unsnapped_field_has_no_grid(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        field = AmbientWaveField(spectrum, n_components=16, seed=1)
+        assert field.frequency_grid_hz is None
+
+    def test_oversample_tightens_grid(self):
+        coarse = _snapped_field(oversample=1)
+        fine = _snapped_field(oversample=8)
+        assert coarse.frequency_grid_hz is not None
+        assert fine.frequency_grid_hz is not None
+        assert fine.frequency_grid_hz < coarse.frequency_grid_hz
+
+
+class TestValidation:
+    def test_spectral_needs_snapped_field(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        field = AmbientWaveField(spectrum, n_components=16, seed=1)
+        t = np.arange(256) * DT
+        with pytest.raises(ConfigurationError, match="grid-snapped"):
+            field.vertical_acceleration_batch(
+                [Position(0.0, 0.0)], t, method="spectral"
+            )
+
+    def test_unknown_method_rejected(self):
+        field = _snapped_field()
+        t = np.arange(256) * DT
+        with pytest.raises(ConfigurationError, match="method"):
+            field.vertical_acceleration_batch(
+                [Position(0.0, 0.0)], t, method="fft"
+            )
+
+    def test_nonuniform_grid_rejected(self):
+        field = _snapped_field()
+        t = np.arange(256) * DT
+        t[100] += 0.001
+        with pytest.raises(ConfigurationError, match="uniform"):
+            field.vertical_acceleration_batch(
+                [Position(0.0, 0.0)], t, method="spectral"
+            )
+
+    def test_incommensurate_step_rejected(self):
+        field = _snapped_field()
+        t = np.arange(256) * (DT * 1.37)
+        with pytest.raises(ConfigurationError, match="incommensurate"):
+            field.vertical_acceleration_batch(
+                [Position(0.0, 0.0)], t, method="spectral"
+            )
+
+    def test_record_beyond_grid_period_rejected(self):
+        field = _snapped_field(n_samples=2048, n_components=8, oversample=1)
+        grid_df = field.frequency_grid_hz
+        assert grid_df is not None
+        fft_length = int(round(1.0 / (grid_df * DT)))
+        t = np.arange(fft_length + 1) * DT
+        with pytest.raises(ConfigurationError, match="period"):
+            field.vertical_acceleration_batch(
+                [Position(0.0, 0.0)], t, method="spectral"
+            )
+
+    def test_construction_rejects_band_beyond_nyquist(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        with pytest.raises(ConfigurationError, match="Nyquist"):
+            AmbientWaveField(
+                spectrum,
+                n_components=16,
+                f_max_hz=1.5,
+                seed=1,
+                spectral_grid=SpectralGrid(n_samples=256, dt_s=0.4),
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_samples": 1, "dt_s": DT},
+            {"n_samples": 256, "dt_s": 0.0},
+            {"n_samples": 256, "dt_s": DT, "oversample": 0},
+        ],
+    )
+    def test_bad_grid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SpectralGrid(**kwargs)
+
+    def test_bad_component_spacing_rejected(self):
+        grid = SpectralGrid(n_samples=256, dt_s=DT)
+        with pytest.raises(ConfigurationError):
+            grid.spacing_hz(0.0)
+
+
+class TestSpreadingCache:
+    def test_cache_serves_repeat_constructions(self):
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        _spreading_cdf_table.cache_clear()
+        AmbientWaveField(spectrum, n_components=8, seed=1)
+        info = _spreading_cdf_table.cache_info()
+        assert info.misses == 1
+        AmbientWaveField(spectrum, n_components=8, seed=2)
+        info = _spreading_cdf_table.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1
+
+    def test_cached_table_is_read_only(self):
+        cdf, edges = _spreading_cdf_table(8.0)
+        with pytest.raises(ValueError):
+            cdf[0] = 1.0
+        with pytest.raises(ValueError):
+            edges[0] = 1.0
+
+    def test_directions_unchanged_by_caching(self):
+        # The table is deterministic, so two identically-seeded fields
+        # (one warming the cache, one served from it) realise the same
+        # directions.
+        spectrum = PiersonMoskowitzSpectrum(SeaState.CALM.wind_speed_mps)
+        _spreading_cdf_table.cache_clear()
+        a = AmbientWaveField(spectrum, n_components=32, seed=9)
+        b = AmbientWaveField(spectrum, n_components=32, seed=9)
+        for ca, cb in zip(a.components, b.components):
+            assert ca.direction_rad == cb.direction_rad
