@@ -58,6 +58,24 @@ def pytest_sessionfinish(session):
         medians = dict(json.loads(out.read_text())["median_seconds"])
     except (OSError, ValueError, KeyError, TypeError):
         pass
+    # Print fresh-vs-committed deltas before overwriting, so every
+    # bench run (CI's bench-smoke included) shows drift against the
+    # checked-in trajectory in its log.
+    lines = []
+    for name in sorted(_MEDIANS):
+        fresh = _MEDIANS[name]
+        committed = medians.get(name)
+        if isinstance(committed, (int, float)) and committed > 0:
+            delta = (fresh - committed) / committed
+            lines.append(
+                f"  {name}: {fresh:.3f}s vs committed "
+                f"{committed:.3f}s ({delta:+.1%})"
+            )
+        else:
+            lines.append(f"  {name}: {fresh:.3f}s (new entry)")
+    print("\nbench medians vs committed BENCH_throughput.json:")
+    for line in lines:
+        print(line)
     medians.update(_MEDIANS)
     out.write_text(
         json.dumps(

@@ -1,0 +1,358 @@
+"""Event-loop fast path gates — tuple heap + quiet-tick elision.
+
+ISSUE 9 rebuilt the discrete-event core (plain ``(time, seq, event)``
+tuple heap, lazy cancellation with compaction, native periodics) and
+put the network runner on an event diet (quiet-window feeds coalesced
+into batched catch-up events, no-op MAC airtime and tick events gone).
+Two gates make the claims quantitative, both against a faithful copy
+of the pre-rewrite simulator kept below as :class:`ReferenceSimulator`:
+
+- **Scheduler microbench**: ~1M mixed schedule/cancel/pop operations
+  must run at least ``MIN_CORE_SPEEDUP`` faster on the tuple heap than
+  on the old dataclass-entry heap.
+- **End-to-end runner**: a 64-node, event-loop-dominated scenario must
+  finish at least ``MIN_RUNNER_SPEEDUP`` faster than the reference
+  simulator with elision off — with a bit-identical
+  :class:`NetworkScenarioResult` digest, so the speed never buys a
+  different answer.
+
+Both arms are seeded; the digests make the equivalence part of the
+gate bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.detection.node_detector import NodeDetectorConfig
+from repro.detection.sid import SIDNodeConfig
+from repro.errors import SimulationError
+from repro.network.simulator import Simulator
+from repro.rng import make_rng
+from repro.scenario.deployment import GridDeployment
+from repro.scenario.digest import scenario_digest
+from repro.scenario.runner import run_network_scenario
+from repro.scenario.synthesis import SynthesisConfig
+
+#: End-to-end floor: new scheduler + event diet vs reference simulator
+#: with the one-event-per-window schedule.  Measured ~2.4x on the dev
+#: container; 1.5x leaves headroom for noisy CI runners.
+MIN_RUNNER_SPEEDUP = 1.5
+
+#: Core-op floor for the tuple heap vs the dataclass-entry heap on the
+#: mixed schedule/cancel/pop/rearm workload.  Measured ~6.5x; gate at
+#: 3x so contention on shared CI runners cannot flip it.
+MIN_CORE_SPEEDUP = 3.0
+
+ROUNDS = 3
+
+#: Microbench workload: ~1.3M mixed heap operations — periodic trains
+#: (the runner's ticks/beacons shape: rearmed natively by the new
+#: scheduler, pre-scheduled in full by the old one), one-shot events
+#: at random times, and a cancelled fraction popped lazily.
+N_ONESHOTS = 200_000
+CANCEL_FRACTION = 0.3
+N_TRAINS = 2_000
+TRAIN_FIRINGS = 200
+TRAIN_INTERVAL_S = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation: the simulator as it stood before ISSUE 9,
+# kept verbatim (dataclass heap entries compared via generated __lt__),
+# plus the schedule_periodic emulation the old runner performed inline
+# (pre-scheduling the whole train, one fresh seq per firing).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(order=True)
+class _RefEntry:
+    time: float
+    seq: int
+    event: "_RefEvent" = field(compare=False)
+
+
+class _RefEvent:
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(
+        self, time: float, fn: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _RefTrain:
+    """Cancellation handle over a pre-scheduled periodic train."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[_RefEvent]) -> None:
+        self.events = events
+
+    def cancel(self) -> None:
+        for event in self.events:
+            event.cancel()
+
+
+class ReferenceSimulator:
+    """Pre-ISSUE-9 event loop, API-padded to slot into the runner."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[_RefEntry] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def n_processed(self) -> int:
+        return self._processed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "events_executed": self._processed,
+            "events_cancelled": 0,
+            "events_pending": len(self._queue),
+            "peak_queue_depth": 0,
+            "compactions": 0,
+        }
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> _RefEvent:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> _RefEvent:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        event = _RefEvent(time, fn, args)
+        heapq.heappush(self._queue, _RefEntry(time, next(self._seq), event))
+        return event
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        first: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> _RefTrain:
+        # The old runner had no periodic primitive: it installed the
+        # whole train up front with one `while t < horizon` loop per
+        # periodic, each firing drawing its own seq.
+        if interval <= 0:
+            raise SimulationError(
+                f"periodic interval must be positive, got {interval}"
+            )
+        if until is None:
+            raise SimulationError(
+                "ReferenceSimulator pre-schedules periodics; until is required"
+            )
+        t = self._now + interval if first is None else first
+        events = []
+        while t < until:
+            events.append(self.schedule_at(t, fn, *args))
+            t += interval
+        return _RefTrain(events)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        if self._running:
+            raise SimulationError("simulator re-entered from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway schedule?"
+                    )
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if entry.event.cancelled:
+                    continue
+                self._now = entry.time
+                entry.event.fn(*entry.event.args)
+                self._processed += 1
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event.fn(*entry.event.args)
+            self._processed += 1
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: scheduler microbench.
+# ---------------------------------------------------------------------------
+
+
+def _heap_workload(sim_cls) -> int:
+    """~1.3M mixed schedule/cancel/pop/rearm ops over a deep heap."""
+    sim = sim_cls()
+    rng = make_rng(4242)
+    noop = int  # cheapest real callable: int() -> 0
+    # Staggered periodic trains, the shape the runner's ticks and
+    # resync beacons put on the heap.
+    for k in range(N_TRAINS):
+        first = 0.5 + (k % 97) * 0.01
+        sim.schedule_periodic(
+            TRAIN_INTERVAL_S,
+            noop,
+            first=first,
+            until=first + TRAIN_INTERVAL_S * TRAIN_FIRINGS,
+        )
+    # One-shots at random times; a fraction cancels before firing.
+    times = rng.uniform(0.0, 1_000.0, size=N_ONESHOTS)
+    schedule_at = sim.schedule_at
+    events = [schedule_at(t, noop) for t in times.tolist()]
+    doomed = rng.permutation(N_ONESHOTS)[
+        : int(CANCEL_FRACTION * N_ONESHOTS)
+    ].tolist()
+    for i in doomed:
+        events[i].cancel()
+    executed = sim.run()
+    # Float accumulation can fit one extra firing into some trains;
+    # both arms accumulate identically, so the exact count is compared
+    # across arms in the test instead of pinned here.
+    assert executed >= (
+        N_TRAINS * TRAIN_FIRINGS
+        + N_ONESHOTS
+        - int(CANCEL_FRACTION * N_ONESHOTS)
+    )
+    return executed
+
+
+def _best_of(fn, *args, rounds: int = ROUNDS):
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args)
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def test_bench_scheduler_core(once):
+    once(_heap_workload, Simulator)
+    t_new, executed_new = _best_of(_heap_workload, Simulator)
+    t_ref, executed_ref = _best_of(_heap_workload, ReferenceSimulator)
+    assert executed_new == executed_ref, (
+        "arms executed different event counts"
+    )
+    speedup = t_ref / t_new
+    ops = (
+        N_TRAINS * TRAIN_FIRINGS  # rearms (new) / pre-schedules (ref)
+        + N_ONESHOTS
+        + int(CANCEL_FRACTION * N_ONESHOTS)
+        + executed_new  # pops
+    )
+    print(
+        f"\nscheduler core ({ops / 1e6:.2f}M ops): "
+        f"tuple heap {t_new * 1e3:.0f} ms, "
+        f"reference {t_ref * 1e3:.0f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_CORE_SPEEDUP, (
+        f"tuple-heap scheduler only {speedup:.2f}x faster than the "
+        f"reference heap; gate is {MIN_CORE_SPEEDUP}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: end-to-end network runner, 64 nodes, no ship — the schedule
+# is almost entirely window feeds, ticks and resync beacons, so the
+# event loop dominates and the elision diet has maximal surface.
+# ---------------------------------------------------------------------------
+
+N_SIDE = 8
+DURATION_S = 400.0
+SEED = 23
+
+
+def _runner_scenario(quiet_elision: bool):
+    dep = GridDeployment(N_SIDE, N_SIDE, seed=17)
+    cfg = SIDNodeConfig(detector=NodeDetectorConfig(hop_s=0.2))
+    return run_network_scenario(
+        dep,
+        [],
+        sid_config=cfg,
+        synthesis_config=SynthesisConfig(
+            duration_s=DURATION_S, synthesis_method="spectral"
+        ),
+        seed=SEED,
+        quiet_elision=quiet_elision,
+    )
+
+
+def test_bench_network_runner_64(once, monkeypatch):
+    import repro.network.nodeproc as nodeproc
+
+    new_sim = nodeproc.Simulator
+
+    def reference_arm():
+        monkeypatch.setattr(nodeproc, "Simulator", ReferenceSimulator)
+        try:
+            return _runner_scenario(quiet_elision=False)
+        finally:
+            monkeypatch.setattr(nodeproc, "Simulator", new_sim)
+
+    # Warm both arms once (imports, numpy caches), then time.
+    fast_result = once(_runner_scenario, True)
+    ref_result = reference_arm()
+    assert scenario_digest(fast_result) == scenario_digest(ref_result), (
+        "fast path diverged from the reference simulator run"
+    )
+    assert not fast_result.intrusion_detected
+
+    t_fast, _ = _best_of(_runner_scenario, True)
+    t_ref, _ = _best_of(reference_arm)
+    speedup = t_ref / t_fast
+    print(
+        f"\n64-node runner ({DURATION_S:.0f}s sim): "
+        f"fast path {t_fast:.2f} s, reference {t_ref:.2f} s "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_RUNNER_SPEEDUP, (
+        f"runner fast path only {speedup:.2f}x over the reference "
+        f"simulator; gate is {MIN_RUNNER_SPEEDUP}x"
+    )

@@ -160,7 +160,6 @@ class Mac:
             # Fire and forget; receiver-side link draws happen upstream.
             if collided:
                 self.stats.collisions += 1
-                self.sim.schedule(airtime, self._noop)
                 if on_failed is not None:
                     self.sim.schedule(airtime, on_failed, frame)
                 return
@@ -224,10 +223,6 @@ class Mac:
             )
         if on_failed is not None:
             self.sim.schedule(airtime, on_failed, frame)
-
-    @staticmethod
-    def _noop() -> None:
-        return None
 
 
 class MacStats:

@@ -292,6 +292,36 @@ class NetworkNode:
             return
         self._dispatch(self.sid.on_timer(self.network.sim.now))
 
+    def catch_up_quiet_windows(self, n_windows: int, n_samples: int) -> None:
+        """Bill a coalesced run of provably-quiet precomputed windows.
+
+        The runner elides ``feed_outcome`` events whose report is None
+        and which fall outside every radio-active interval: those feeds
+        touch nothing but the battery and the windows counter.  One
+        catch-up event replays exactly that effect — same gates, same
+        per-window ``draw_cpu`` amounts in the same order, stopping at
+        depletion just as the individual feeds would have — so the
+        billing is arithmetically identical to the un-elided schedule.
+        (The runner only elides when no fault plan is active, so
+        ``alive`` and the drain multiplier cannot change mid-run.)
+        """
+        if not self.alive:
+            return
+        battery = self.battery
+        telemetry = self.network.telemetry
+        counter = (
+            telemetry.metrics.counter("windows_processed")
+            if telemetry is not None
+            else None
+        )
+        for _ in range(n_windows):
+            if battery is not None:
+                if battery.depleted:
+                    break
+                battery.draw_cpu(0.001 * n_samples)
+            if counter is not None:
+                counter.inc()
+
     # ------------------------------------------------------------------
     # Action dispatch
     # ------------------------------------------------------------------

@@ -3,41 +3,79 @@
 A minimal, deterministic event loop: events are ``(time, seq)``-ordered
 callbacks in a binary heap; ties break by scheduling order, so repeated
 runs with the same seeds replay identically.
+
+The heap holds plain ``(time, seq, event)`` tuples, so ordering runs as
+C-level tuple comparison (``seq`` is unique per event, so comparison
+never reaches the non-orderable callback).  Cancellation is lazy — a
+cancelled entry stays queued until popped — with threshold-triggered
+compaction so a workload that cancels heavily (retransmit timers over a
+long soak) cannot grow the heap without bound.  Periodic trains
+(``schedule_periodic``) keep a single queue entry that is re-armed by
+the loop itself, preserving the entry's original ``seq`` so the
+``(time, seq)`` replay order is exactly that of pre-scheduling the
+whole train contiguously up front.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
-
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
+#: Compaction trigger: reap when more than this fraction of the queue
+#: is cancelled entries (and at least ``_COMPACT_MIN`` of them).
+_COMPACT_FRACTION = 0.5
+_COMPACT_MIN = 64
 
 
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = (
+        "time",
+        "fn",
+        "args",
+        "cancelled",
+        "seq",
+        "interval",
+        "until",
+        "_sim",
+        "_queued",
+    )
 
     def __init__(
-        self, time: float, fn: Callable[..., Any], args: tuple
+        self,
+        sim: "Simulator",
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        seq: int,
+        interval: Optional[float] = None,
+        until: Optional[float] = None,
     ) -> None:
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.seq = seq
+        #: Re-arm period for periodic events; None for one-shots.
+        self.interval = interval
+        #: Exclusive horizon for periodic re-arming; None = unbounded.
+        self.until = until
+        self._sim = sim
+        self._queued = True
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (safe to call twice)."""
-        self.cancelled = True
+        """Prevent the callback from firing (safe to call twice).
+
+        Cancellation is lazy: the queue entry is reaped when popped, or
+        earlier by threshold-triggered compaction.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queued:
+                self._sim._note_cancel()
 
 
 class Simulator:
@@ -52,10 +90,16 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[_Entry] = []
-        self._seq = itertools.count()
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._processed = 0
         self._running = False
+        #: Cancelled entries still sitting in the queue.
+        self._cancelled_in_queue = 0
+        #: Lifetime counters (scheduler observability).
+        self._cancelled_total = 0
+        self._compactions = 0
+        self._peak_depth = 0
 
     @property
     def now(self) -> float:
@@ -64,14 +108,37 @@ class Simulator:
 
     @property
     def n_pending(self) -> int:
-        """Events still queued (including cancelled ones not yet popped)."""
-        return len(self._queue)
+        """Live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def n_cancelled(self) -> int:
+        """Cancelled entries still occupying queue slots."""
+        return self._cancelled_in_queue
 
     @property
     def n_processed(self) -> int:
         """Events executed so far."""
         return self._processed
 
+    @property
+    def peak_queue_depth(self) -> int:
+        """Largest queue length observed (cancelled entries included)."""
+        return self._peak_depth
+
+    def stats(self) -> dict[str, float]:
+        """Scheduler counters for telemetry export."""
+        return {
+            "events_executed": self._processed,
+            "events_cancelled": self._cancelled_total,
+            "events_pending": self.n_pending,
+            "peak_queue_depth": self._peak_depth,
+            "compactions": self._compactions,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def schedule(
         self, delay: float, fn: Callable[..., Any], *args: Any
     ) -> Event:
@@ -88,10 +155,91 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self._now})"
             )
-        event = Event(time, fn, args)
-        heapq.heappush(self._queue, _Entry(time, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self, time, fn, args, seq)
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, event))
+        if len(queue) > self._peak_depth:
+            self._peak_depth = len(queue)
         return event
 
+    def schedule_periodic(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        first: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Event:
+        """Run ``fn(*args)`` every ``interval`` seconds.
+
+        The first firing is at absolute time ``first`` (default
+        ``now + interval``); re-arming continues while the next firing
+        time stays strictly below ``until`` (exclusive; None =
+        forever).  Firing times accumulate (``t += interval``), exactly
+        like a pre-scheduled ``while t < until`` train, and the single
+        queue entry keeps its creation ``seq``, so same-time ordering
+        against other events is identical to scheduling the whole train
+        contiguously up front.  Cancelling the returned event stops the
+        train.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                f"periodic interval must be positive, got {interval}"
+            )
+        start = self._now + interval if first is None else first
+        if start < self._now:
+            raise SimulationError(
+                f"cannot schedule at {start} < now ({self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(
+            self, start, fn, args, seq, interval=interval, until=until
+        )
+        if until is not None and start >= until:
+            # Empty train: nothing to queue; hand back an inert handle.
+            event._queued = False
+            return event
+        queue = self._queue
+        heapq.heappush(queue, (start, seq, event))
+        if len(queue) > self._peak_depth:
+            self._peak_depth = len(queue)
+        return event
+
+    # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_total += 1
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > _COMPACT_MIN
+            and self._cancelled_in_queue
+            > _COMPACT_FRACTION * len(self._queue)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Reap cancelled entries and re-heapify in place.
+
+        In-place (slice assignment) so a ``run`` loop holding a local
+        binding to the queue keeps observing the compacted list.
+        """
+        queue = self._queue
+        if self._cancelled_in_queue == 0:
+            return
+        queue[:] = [
+            entry for entry in queue if not entry[2].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run(
         self,
         until: Optional[float] = None,
@@ -106,36 +254,67 @@ class Simulator:
             raise SimulationError("simulator re-entered from a callback")
         self._running = True
         executed = 0
+        # Local bindings keep the hot loop free of repeated attribute
+        # lookups; the queue list is mutated in place everywhere
+        # (including compact), so the binding never goes stale.
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         try:
-            while self._queue:
+            while queue:
+                entry = queue[0]
+                time = entry[0]
+                if until is not None and time > until:
+                    break
                 if executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"
                     )
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
-                    break
-                heapq.heappop(self._queue)
-                if entry.event.cancelled:
+                heappop(queue)
+                event = entry[2]
+                event._queued = False
+                if event.cancelled:
+                    self._cancelled_in_queue -= 1
                     continue
-                self._now = entry.time
-                entry.event.fn(*entry.event.args)
-                self._processed += 1
+                self._now = time
+                event.fn(*event.args)
                 executed += 1
+                interval = event.interval
+                if interval is not None and not event.cancelled:
+                    next_time = time + interval
+                    event_until = event.until
+                    if event_until is None or next_time < event_until:
+                        event.time = next_time
+                        event._queued = True
+                        heappush(queue, (next_time, event.seq, event))
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._processed += executed
             self._running = False
         return executed
 
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event; False when empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[2]
+            event._queued = False
+            if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
-            self._now = entry.time
-            entry.event.fn(*entry.event.args)
+            self._now = entry[0]
+            event.fn(*event.args)
             self._processed += 1
+            interval = event.interval
+            if interval is not None and not event.cancelled:
+                next_time = entry[0] + interval
+                if event.until is None or next_time < event.until:
+                    event.time = next_time
+                    event._queued = True
+                    heapq.heappush(
+                        queue, (next_time, event.seq, event)
+                    )
             return True
         return False

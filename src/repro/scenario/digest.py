@@ -1,0 +1,77 @@
+"""Canonical, bit-exact digests of scenario results.
+
+The determinism contract of the discrete-event stack is *replay
+identity*: same seeds, same configuration, same bits out.  This module
+turns a scenario result into a canonical text form — every float
+rendered via ``float.hex()`` so two values digest equal iff they are
+bit-identical — and hashes it, giving regression tests and benchmarks
+one stable fingerprint to pin across refactors of the event loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def canonical_text(value: Any) -> str:
+    """Render ``value`` as a canonical, bit-exact text form.
+
+    Supported: dataclasses (fields in declaration order), mappings
+    (sorted by key), sequences, strings, bools, ints, floats (via
+    ``float.hex()``), numpy scalars, and ``None``.  Anything else is a
+    configuration error — silent ``repr`` fallbacks would make digests
+    depend on interpreter details.
+    """
+    if value is None:
+        return "~"
+    if isinstance(value, (bool, np.bool_)):
+        return "b1" if value else "b0"
+    if isinstance(value, (int, np.integer)):
+        return f"i{int(value)}"
+    if isinstance(value, (float, np.floating)):
+        return f"f{float(value).hex()}"
+    if isinstance(value, str):
+        return f"s{value!r}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = ",".join(
+            f"{f.name}={canonical_text(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({body})"
+    if isinstance(value, dict):
+        body = ",".join(
+            f"{key!r}:{canonical_text(value[key])}"
+            for key in sorted(value, key=repr)
+        )
+        return "{" + body + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical_text(v) for v in value) + "]"
+    if isinstance(value, np.ndarray):
+        return (
+            "["
+            + ",".join(canonical_text(v) for v in value.tolist())
+            + "]"
+        )
+    raise ConfigurationError(
+        f"cannot canonicalise {type(value).__name__} for digesting"
+    )
+
+
+def scenario_digest(result: Any) -> str:
+    """SHA-256 over the canonical text of ``result``.
+
+    ``result`` is typically a
+    :class:`repro.scenario.runner.NetworkScenarioResult`; any dataclass
+    built from the supported leaf types digests.  Two results share a
+    digest iff every field — sink decisions, counters, float statistics
+    — is bit-identical.
+    """
+    return hashlib.sha256(
+        canonical_text(result).encode("utf-8")
+    ).hexdigest()

@@ -15,6 +15,7 @@ benchmarks stress.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -416,6 +417,112 @@ def _fleet_network_outcomes(
     return out
 
 
+def _head_active_intervals(
+    outcomes: dict[int, list[tuple[int, Optional[NodeReport], bool]]],
+    traces: dict[int, AccelTrace],
+    det_cfg: NodeDetectorConfig,
+    guard_s: float,
+) -> dict[int, list[tuple[float, float]]]:
+    """Per-node time intervals in which its SID state can do real work.
+
+    A node's report-less window feeds and timer ticks have observable
+    effects beyond battery billing only while that node *heads an open
+    temporary cluster* — and a cluster opens exclusively at one of the
+    node's own report-dispatch feeds (``_actions_for_report`` with a
+    non-None report) and closes no later than its collection deadline
+    plus one tick of slack.  So each node's intervals start at its own
+    report window end times and extend ``guard_s`` past them; outside
+    the merged union the node is provably not an active head, its
+    ``on_timer`` returns without touching anything, and membership /
+    baseline-init bookkeeping defers benignly to the next retained
+    event (every SID entry point re-runs ``_expire_membership`` with
+    the same clock comparison, and ``on_cluster_setup`` overwrites
+    membership unconditionally for non-heads).
+    """
+    rate = det_cfg.rate_hz
+    w = det_cfg.window_samples
+    per_node: dict[int, list[tuple[float, float]]] = {}
+    for node_id, rows in outcomes.items():
+        t0 = traces[node_id].t0
+        merged: list[tuple[float, float]] = []
+        for start, report, _seeded in rows:
+            if report is None:
+                continue
+            t = t0 + (start + w) / rate
+            hi = t + guard_s
+            if merged and t <= merged[-1][1]:
+                if hi > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], hi)
+            else:
+                merged.append((t, hi))
+        per_node[node_id] = merged
+    return per_node
+
+
+def _elision_guard_s(
+    cfg: SIDNodeConfig, retransmit: Optional[RetransmitPolicy]
+) -> float:
+    """Upper bound on a node's open-cluster lifetime after a dispatch.
+
+    A cluster opened at dispatch time has its deadline at most
+    ``collection_timeout_s`` later (deadlines anchor on the initiating
+    report's onset, which precedes the dispatch) and is evaluated by
+    the first head entry point after it — within one window of ticks.
+    A retransmit policy can keep the head's own report traffic alive up
+    to its staleness cutoff.  Overestimating only shrinks the elided
+    region — it never costs correctness.
+    """
+    staleness = retransmit.staleness_s if retransmit is not None else 0.0
+    return (
+        cfg.cluster.collection_timeout_s
+        + 2.0 * cfg.detector.window_s
+        + staleness
+        + 1.0
+    )
+
+
+def _billing_order_free(
+    deployment: GridDeployment,
+    outcomes: dict[int, list[tuple[int, Optional[NodeReport], bool]]],
+    det_cfg: NodeDetectorConfig,
+    retransmit: Optional[RetransmitPolicy],
+) -> bool:
+    """True when no battery can possibly deplete during the event loop.
+
+    Deferring a quiet window's ``draw_cpu`` to a batched catch-up event
+    reorders it against interleaved radio draws; energy sums commute,
+    so the reorder is observable only through the depletion gate (and
+    the low-charge watch, which only the healing path arms).  This
+    check proves depletion unreachable: each battery's remaining charge
+    must exceed its full-run CPU billing plus a crude upper bound on
+    fleet-wide radio traffic — every report dispatch can fan out floods
+    and relays to every node, retried in full and generously oversized
+    per frame.  A deployment running batteries tight enough to fail
+    this simply keeps the one-event-per-window schedule.
+    """
+    n_nodes = sum(1 for _ in deployment)
+    n_dispatches = sum(
+        1 for rows in outcomes.values() for _, r, _ in rows if r is not None
+    )
+    retries = 1 + (retransmit.max_attempts if retransmit is not None else 0)
+    frame_bytes_bound = n_dispatches * 4 * (n_nodes + 1) * retries * 512
+    cpu_s_per_window = 0.001 * det_cfg.window_samples
+    for node in deployment:
+        battery = node.mote.battery
+        if battery is None:
+            continue
+        costs = battery.costs
+        cpu_j = (
+            len(outcomes[node.node_id]) * cpu_s_per_window * costs.cpu_j_per_s
+        )
+        radio_j = frame_bytes_bound * max(
+            costs.tx_j_per_byte, costs.rx_j_per_byte
+        )
+        if battery.remaining_j <= 2.0 * (cpu_j + radio_j):
+            return False
+    return True
+
+
 def run_network_scenario(
     deployment: GridDeployment,
     ships: Sequence[ShipTrack] = (),
@@ -432,6 +539,7 @@ def run_network_scenario(
     seed: RandomState = None,
     detection_engine: str = "fleet",
     telemetry: Optional[Telemetry] = None,
+    quiet_elision: bool = True,
 ) -> NetworkScenarioResult:
     """Run one scenario through the full network stack.
 
@@ -472,6 +580,15 @@ def run_network_scenario(
     mirrors the terminal counters into its metrics registry.  ``None``
     (the default) installs nothing: every emission site reduces to one
     attribute check and the run stays bit-identical to seed.
+
+    ``quiet_elision`` (default True) lets the fleet-engine path skip
+    scheduling provably-no-op window feeds and timer ticks during
+    radio-quiet stretches, coalescing their battery billing into
+    batched catch-up events with arithmetically identical draws.  It
+    only ever engages when the precompute ran and no fault plan is
+    active, and the result is bit-identical either way; set it False to
+    force the one-event-per-window schedule (the benchmarks' reference
+    arm does).
     """
     if detection_engine not in ("fleet", "reference"):
         raise ConfigurationError(
@@ -560,6 +677,40 @@ def run_network_scenario(
             )
     else:
         outcomes = None
+    # Quiet-tick elision: with the fleet engine and no fault plan, the
+    # precompute tells us every moment each node can originate protocol
+    # traffic — and thereby every stretch in which it could head an
+    # open cluster.  Outside its own guarded intervals a node's
+    # report-less window feeds and timer ticks are provably no-ops
+    # except for their battery billing, so each quiet run collapses
+    # into one catch-up event and its ticks are dropped outright (ticks
+    # never bill).  Billing batched this way commutes only while
+    # depletion is unreachable, hence the headroom precondition.
+    elide = (
+        quiet_elision
+        and outcomes is not None
+        and not injector.active
+        and _billing_order_free(deployment, outcomes, cfg.detector, retransmit)
+    )
+    active: dict[int, list[tuple[float, float]]] = {}
+    if elide and outcomes is not None:
+        active = _head_active_intervals(
+            outcomes,
+            traces,
+            cfg.detector,
+            _elision_guard_s(cfg, retransmit),
+        )
+
+    def _in_active(
+        t: float, intervals: list[tuple[float, float]], cursor: list[int]
+    ) -> bool:
+        # Monotone queries only: the cursor never rewinds.
+        i = cursor[0]
+        while i < len(intervals) and intervals[i][1] < t:
+            i += 1
+        cursor[0] = i
+        return i < len(intervals) and intervals[i][0] <= t
+
     for node in deployment:
         sid = SIDNode(
             node.node_id,
@@ -576,9 +727,29 @@ def run_network_scenario(
             # times the reference schedules its feeds (a masked-out
             # crash window schedules nothing — its reference feed
             # would have fired as a no-op on a dead node).
+            intervals = active.get(node.node_id, [])
+            cursor = [0]
+            quiet_n = 0
+            quiet_last = 0.0
             for start, report, seeded in outcomes[node.node_id]:
                 t_start = trace.t0 + start / cfg.detector.rate_hz
                 t_end = t_start + window / cfg.detector.rate_hz
+                if (
+                    elide
+                    and report is None
+                    and not _in_active(t_end, intervals, cursor)
+                ):
+                    quiet_n += 1
+                    quiet_last = t_end
+                    continue
+                if quiet_n:
+                    network.sim.schedule_at(
+                        quiet_last,
+                        proc.catch_up_quiet_windows,
+                        quiet_n,
+                        window,
+                    )
+                    quiet_n = 0
                 network.sim.schedule_at(
                     t_end,
                     proc.feed_outcome,
@@ -586,6 +757,10 @@ def run_network_scenario(
                     window,
                     t_start,
                     seeded,
+                )
+            if quiet_n:
+                network.sim.schedule_at(
+                    quiet_last, proc.catch_up_quiet_windows, quiet_n, window
                 )
         else:
             a = preprocess_z_counts(trace.z, cfg.detector.preprocess)
@@ -598,10 +773,21 @@ def run_network_scenario(
                 )
         # Timer ticks keep cluster deadlines firing after sampling ends.
         horizon = trace.t0 + trace.duration + 2 * cfg.cluster.collection_timeout_s
-        t = trace.t0 + cfg.detector.window_s
-        while t < horizon:
-            network.sim.schedule_at(t, proc.tick)
-            t += cfg.detector.window_s
+        if elide:
+            intervals = active.get(node.node_id, [])
+            cursor = [0]
+            t = trace.t0 + cfg.detector.window_s
+            while t < horizon:
+                if _in_active(t, intervals, cursor):
+                    network.sim.schedule_at(t, proc.tick)
+                t += cfg.detector.window_s
+        else:
+            network.sim.schedule_periodic(
+                cfg.detector.window_s,
+                proc.tick,
+                first=trace.t0 + cfg.detector.window_s,
+                until=horizon,
+            )
 
     # Periodic fleet-wide time-sync beacons (Sec. IV-C assumes the
     # network keeps "synchronized time ... within certain precision").
@@ -626,14 +812,30 @@ def run_network_scenario(
             raise ConfigurationError(
                 f"resync_interval_s must be positive, got {resync_interval_s}"
             )
-        t = synth.t0 + resync_interval_s
-        while t < sync_horizon:
-            for node in deployment:
-                network.sim.schedule_at(t, _resync, node)
-            t += resync_interval_s
+        # One periodic per node, created in node order: at every beacon
+        # time the fixed per-event seqs replay the old
+        # outer-time/inner-node ordering exactly.
+        for node in deployment:
+            network.sim.schedule_periodic(
+                resync_interval_s,
+                _resync,
+                node,
+                first=synth.t0 + resync_interval_s,
+                until=sync_horizon,
+            )
 
-    with maybe_stage(telemetry, "event_loop"):
+    with maybe_stage(telemetry, "event_loop") as span:
+        loop_t0 = time.perf_counter()
         network.sim.run()
+        loop_wall = time.perf_counter() - loop_t0
+        sched_stats = network.sim.stats()
+        sched_stats["events_per_s"] = (
+            sched_stats["events_executed"] / loop_wall
+            if loop_wall > 0
+            else 0.0
+        )
+        if span is not None:
+            span.set(**sched_stats)
     sink.flush()
     network.finalize_resilience()
     errors = [
@@ -654,6 +856,7 @@ def run_network_scenario(
         # Mirror the run's terminal counters into the metrics registry
         # so traces and metrics agree without a second bookkeeping path.
         telemetry.record_stats("mac", network.mac.stats.as_dict())
+        telemetry.record_stats("scheduler", sched_stats)
         if fault_stats:
             telemetry.record_stats("fault_stats", fault_stats)
     return NetworkScenarioResult(

@@ -87,6 +87,37 @@ def stage_latencies(
     return out
 
 
+def scheduler_stats(
+    events: Sequence[TraceEvent],
+) -> list[dict[str, Any]]:
+    """Event-loop scheduler counters, one row per ``event_loop`` span.
+
+    The network runner attaches the simulator's terminal counters
+    (events executed/cancelled, peak queue depth, compactions) and the
+    achieved events/sec to its ``event_loop`` profiling span; this
+    lifts them out so a trace shows scheduler health next to the stage
+    latencies.
+    """
+    rows: list[dict[str, Any]] = []
+    for event in events:
+        if (
+            event.category != CAT_PROFILING
+            or event.kind != KIND_SPAN
+            or event.name != "event_loop"
+        ):
+            continue
+        fields = dict(event.fields)
+        if "events_executed" not in fields:
+            continue
+        rows.append(
+            {
+                "wall_s": event.wall_dur_s,
+                **{k: fields[k] for k in sorted(fields)},
+            }
+        )
+    return rows
+
+
 def frame_loss(
     events: Sequence[TraceEvent],
 ) -> dict[int, dict[str, int]]:
@@ -120,6 +151,7 @@ def summarize(events: Sequence[TraceEvent]) -> dict[str, Any]:
         "event_counts": event_counts(events),
         "alarms": alarm_timeline(events),
         "stage_latencies": stage_latencies(events),
+        "scheduler": scheduler_stats(events),
         "frame_loss": frame_loss(events),
     }
 
@@ -164,6 +196,18 @@ def format_summary(summary: dict[str, Any]) -> str:
                 f"p50={row['p50_s'] * 1e3:8.3f}ms "
                 f"p90={row['p90_s'] * 1e3:8.3f}ms "
                 f"p99={row['p99_s'] * 1e3:8.3f}ms"
+            )
+    if summary.get("scheduler"):
+        lines.append("")
+        lines.append("scheduler (event loop):")
+        for row in summary["scheduler"]:
+            rate = row.get("events_per_s")
+            lines.append(
+                f"  executed={row.get('events_executed'):<8} "
+                f"cancelled={row.get('events_cancelled'):<6} "
+                f"peak_depth={row.get('peak_queue_depth'):<8} "
+                f"compactions={row.get('compactions'):<3} "
+                + (f"{rate:,.0f} events/s" if rate else "")
             )
     if summary["frame_loss"]:
         lines.append("")

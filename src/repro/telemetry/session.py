@@ -16,7 +16,7 @@ from repro.telemetry.clock import Clock, perf_clock
 from repro.telemetry.events import CAT_PROFILING, TraceEvent
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.sinks import InMemorySink, JsonlSink, TraceSink
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracer import SpanHandle, Tracer
 
 
 class Telemetry:
@@ -52,10 +52,17 @@ class Telemetry:
         return []
 
     @contextmanager
-    def stage(self, name: str, **fields: Any) -> Iterator[None]:
-        """Profile one pipeline stage: span + latency histogram."""
+    def stage(
+        self, name: str, **fields: Any
+    ) -> Iterator[SpanHandle | None]:
+        """Profile one pipeline stage: span + latency histogram.
+
+        Yields the open span's handle so callers can attach fields
+        computed inside the stage (e.g. scheduler counters) via
+        ``handle.set(...)``.
+        """
         with self.tracer.span(CAT_PROFILING, name, **fields) as handle:
-            yield
+            yield handle
         event = handle.event
         if event is not None and event.wall_dur_s is not None:
             self.metrics.histogram(
@@ -89,8 +96,12 @@ class Telemetry:
 
 def maybe_stage(
     telemetry: "Telemetry | None", name: str, **fields: Any
-) -> ContextManager[None]:
-    """``telemetry.stage(...)`` or a free no-op when telemetry is off."""
+) -> ContextManager[SpanHandle | None]:
+    """``telemetry.stage(...)`` or a free no-op when telemetry is off.
+
+    Yields the stage's :class:`SpanHandle` (or None when telemetry is
+    off), so hot paths can attach fields without re-checking.
+    """
     if telemetry is None:
         return nullcontext()
     return telemetry.stage(name, **fields)

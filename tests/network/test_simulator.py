@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.network.simulator import Simulator
+from repro.network.simulator import _COMPACT_MIN, Simulator
 
 
 def test_events_run_in_time_order():
@@ -136,3 +136,157 @@ def test_run_until_advances_to_until_when_idle():
     sim = Simulator()
     sim.run(until=42.0)
     assert sim.now == 42.0
+
+
+class TestHeapHygiene:
+    def test_n_pending_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for ev in events[:4]:
+            ev.cancel()
+        assert sim.n_pending == 6
+        assert sim.n_cancelled == 4
+
+    def test_cancel_after_run_does_not_count(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        ev.cancel()
+        assert sim.n_cancelled == 0
+        assert sim.stats()["events_cancelled"] == 0
+
+    def test_pop_reclaims_cancelled_slot(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.n_cancelled == 1
+        sim.run()
+        assert sim.n_cancelled == 0
+        assert sim.n_pending == 0
+
+    def test_threshold_compaction(self):
+        sim = Simulator()
+        keep = [sim.schedule(1e9, lambda: None) for _ in range(4)]
+        doomed = [
+            sim.schedule(float(i + 1), lambda: None)
+            for i in range(2 * _COMPACT_MIN)
+        ]
+        for ev in doomed:
+            ev.cancel()
+        # The cancelled fraction crossed the threshold mid-way, so the
+        # queue was reaped without waiting for pops; cancels after the
+        # sweep accumulate again below the trigger.
+        assert sim.stats()["compactions"] >= 1
+        assert sim.n_cancelled < len(doomed)
+        assert sim.n_pending == len(keep)
+        sim.run()
+        assert sim.n_processed == len(keep)
+
+    def test_explicit_compact_preserves_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        ev = sim.schedule(1.0, log.append, "dropped")
+        sim.schedule(2.0, log.append, "b")
+        ev.cancel()
+        sim.compact()
+        assert sim.n_cancelled == 0
+        sim.run()
+        assert log == ["b", "c"]
+
+    def test_peak_queue_depth(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.peak_queue_depth == 7
+        assert sim.stats()["events_executed"] == 7
+
+
+class TestSchedulePeriodic:
+    def test_fires_on_accumulated_grid(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(
+            0.5, lambda: times.append(sim.now), first=1.0, until=3.0
+        )
+        sim.run()
+        assert times == [1.0, 1.5, 2.0, 2.5]
+
+    def test_until_is_exclusive(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(
+            1.0, lambda: times.append(sim.now), first=1.0, until=3.0
+        )
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_empty_train_is_inert(self):
+        sim = Simulator()
+        ev = sim.schedule_periodic(
+            1.0, lambda: None, first=5.0, until=5.0
+        )
+        assert sim.n_pending == 0
+        ev.cancel()
+        assert sim.n_cancelled == 0
+        assert sim.run() == 0
+
+    def test_default_first_is_now_plus_interval(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(
+            2.0, lambda: times.append(sim.now), until=7.0
+        )
+        sim.run()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_cancel_stops_the_train(self):
+        sim = Simulator()
+        fired = []
+        handle = []
+
+        def hit():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                handle[0].cancel()
+
+        handle.append(sim.schedule_periodic(1.0, hit, first=1.0))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_keeps_seq_against_later_events(self):
+        # The train keeps its creation seq: a one-shot scheduled later
+        # at a shared time fires after the train's member, exactly as
+        # if the whole train had been pre-scheduled up front.
+        sim = Simulator()
+        log = []
+        sim.schedule_periodic(
+            1.0, lambda: log.append("train"), first=1.0, until=3.5
+        )
+        sim.schedule_at(2.0, log.append, "one-shot")
+        sim.run()
+        assert log == ["train", "train", "one-shot", "train"]
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_first_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(1.0, lambda: None, first=1.0)
+
+    def test_step_rearms_periodics(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(
+            1.0, lambda: times.append(sim.now), first=1.0, until=2.5
+        )
+        assert sim.step()
+        assert sim.step()
+        assert not sim.step()
+        assert times == [1.0, 2.0]
