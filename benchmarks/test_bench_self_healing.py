@@ -40,6 +40,7 @@ from repro.detection.sid import SIDNodeConfig
 from repro.faults.plan import FaultPlan
 from repro.network.selfheal import SelfHealingConfig
 from repro.parallel import SweepConfig, SweepRunner
+from repro.sanitize import Sanitizer
 from repro.scenario.presets import paper_deployment, paper_ship
 from repro.scenario.runner import run_network_scenario
 from repro.scenario.synthesis import SynthesisConfig
@@ -97,6 +98,22 @@ def _telemetry_for(seed: int, mode: str):
     return Telemetry.to_jsonl(path)
 
 
+def _sanitizer_for(seed: int, mode: str):
+    """Sanitizer for the representative healed run, if requested.
+
+    ``$REPRO_SANITIZE_REPORT`` names the report artifact path; only
+    the first seed's healed run is sanitized — it exercises crashes,
+    reboots, batched catch-up billing and re-routing, the exact
+    surfaces the detectors audit.  Constructed (and its report
+    written) inside ``_run_one`` so it lives entirely in whichever
+    sweep-worker process runs the cell.
+    """
+    path = os.environ.get("REPRO_SANITIZE_REPORT")
+    if not path or mode != "healed" or seed != SEEDS[0]:
+        return None, None
+    return Sanitizer(), path
+
+
 def _run_one(seed: int, mode: str):
     dep = paper_deployment(seed=seed)
     ships = [paper_ship(dep, cross_time_s=t) for t in CROSS_TIMES_S]
@@ -107,8 +124,9 @@ def _run_one(seed: int, mode: str):
         else None
     )
     telemetry = _telemetry_for(seed, mode)
+    sanitizer, report_path = _sanitizer_for(seed, mode)
     try:
-        return run_network_scenario(
+        result = run_network_scenario(
             dep,
             ships,
             sid_config=SIDNodeConfig(
@@ -120,10 +138,18 @@ def _run_one(seed: int, mode: str):
             healing=healing,
             seed=seed,
             telemetry=telemetry,
+            sanitizer=sanitizer,
         )
     finally:
         if telemetry is not None:
             telemetry.close()
+    if sanitizer is not None:
+        report = sanitizer.report()
+        report.write_json(report_path)
+        assert report.ok, (
+            "sanitizer findings in the chaos soak run:\n" + report.format()
+        )
+    return result
 
 
 def _run_soak():

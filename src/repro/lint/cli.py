@@ -83,6 +83,13 @@ def _resolve_rules(
     return rules
 
 
+def _count_by_rule(findings: Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def _emit_text(
     findings: Sequence[Finding],
     show_suppressed: bool,
@@ -98,18 +105,29 @@ def _emit_text(
     if suppressed:
         summary += f", {len(suppressed)} suppressed"
     print(summary, file=out)
+    if suppressed:
+        # Waiver audit trail: which rules the codebase has accumulated
+        # '# lint: ignore[...]' debts against, at a glance.
+        breakdown = ", ".join(
+            f"{rule_id}={n}"
+            for rule_id, n in _count_by_rule(suppressed).items()
+        )
+        print(f"suppressed by rule: {breakdown}", file=out)
 
 
 def _emit_json(
     findings: Sequence[Finding], out: TextIO | None = None
 ) -> None:
     out = out if out is not None else sys.stdout
-    active = sum(1 for f in findings if not f.suppressed)
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
     doc = {
         "findings": [f.to_dict() for f in findings],
         "counts": {
-            "active": active,
-            "suppressed": len(findings) - active,
+            "active": len(active),
+            "suppressed": len(suppressed),
+            "active_by_rule": _count_by_rule(active),
+            "suppressed_by_rule": _count_by_rule(suppressed),
         },
     }
     json.dump(doc, out, indent=2, sort_keys=True)

@@ -1,0 +1,472 @@
+"""Lightweight intraprocedural dataflow for flow-aware lint rules.
+
+Two analyses power the RNG003/DET003/OBS002 rules:
+
+:func:`non_none_facts`
+    A forward walk over every scope computing, for each expression
+    node, the set of dotted names (``a``, ``self.tracer``,
+    ``net.trace``) known to be non-``None`` at that point.  Facts come
+    from ``if X is not None`` / truthiness guards, early-exit ``if X
+    is None: return`` patterns, ``assert`` statements, and assignments
+    whose right-hand side is definitely not ``None`` (a call, a
+    literal, a comprehension).  Facts are killed when any prefix of
+    the name is re-assigned, conservatively including everything
+    assigned anywhere inside loop and ``try`` bodies.  Nested
+    functions and lambdas inherit the facts at their definition point
+    (minus their own parameters): the closures this repo schedules are
+    created under the same guard discipline they run under, and the
+    conservative direction of any miss is a *finding*, never a missed
+    bug.
+
+:func:`iter_scopes` / :func:`scope_statements`
+    Program-order access to each scope's statements without descending
+    into nested scopes, so alias rules (RNG003, DET003) can reason
+    about assignment/use order linearly.
+
+This is a dominance-style approximation, not a full CFG: ``break`` /
+``continue`` edges and exception edges are folded into the
+conservative kill sets.  That trades precision for a few hundred
+lines; every pattern the repo actually uses analyses exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Optional, Union
+
+__all__ = [
+    "NonNoneAnalysis",
+    "dotted_text",
+    "guard_false_facts",
+    "guard_true_facts",
+    "iter_scopes",
+    "non_none_facts",
+    "scope_statements",
+]
+
+_FunctionScope = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_text(node: ast.AST) -> Optional[str]:
+    """Canonical dotted text for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def guard_true_facts(test: ast.expr) -> frozenset[str]:
+    """Names known non-None when ``test`` evaluates truthy."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if isinstance(op, ast.IsNot) and _is_none(right):
+            text = dotted_text(left)
+            return frozenset() if text is None else frozenset({text})
+        return frozenset()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        facts: frozenset[str] = frozenset()
+        for value in test.values:
+            facts |= guard_true_facts(value)
+        return facts
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return guard_false_facts(test.operand)
+    text = dotted_text(test)
+    # Bare truthiness: a truthy value is necessarily not None.
+    return frozenset() if text is None else frozenset({text})
+
+
+def guard_false_facts(test: ast.expr) -> frozenset[str]:
+    """Names known non-None when ``test`` evaluates falsy."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if isinstance(op, ast.Is) and _is_none(right):
+            text = dotted_text(left)
+            return frozenset() if text is None else frozenset({text})
+        return frozenset()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        facts: frozenset[str] = frozenset()
+        for value in test.values:
+            facts |= guard_false_facts(value)
+        return facts
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return guard_true_facts(test.operand)
+    return frozenset()
+
+
+def _definitely_not_none(value: ast.expr) -> bool:
+    """RHS shapes that can never evaluate to None.
+
+    Calls count only when the callee looks like a constructor
+    (capitalised leaf name, e.g. ``Tracer()``): an arbitrary function
+    may well return None, but instantiation cannot.
+    """
+    if isinstance(value, ast.Constant):
+        return value.value is not None
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Attribute):
+            leaf: Optional[str] = func.attr
+        elif isinstance(func, ast.Name):
+            leaf = func.id
+        else:
+            leaf = None
+        return leaf is not None and leaf[:1].isupper()
+    return isinstance(
+        value,
+        (
+            ast.List,
+            ast.Tuple,
+            ast.Set,
+            ast.Dict,
+            ast.ListComp,
+            ast.SetComp,
+            ast.DictComp,
+            ast.GeneratorExp,
+            ast.JoinedStr,
+            ast.Lambda,
+        ),
+    )
+
+
+def _assigned_texts(stmts: list[ast.stmt]) -> set[str]:
+    """Every dotted target text assigned anywhere in ``stmts``.
+
+    Descends compound statements but not nested scopes (their
+    assignments bind their own locals; ``self.x`` writes from closures
+    are rare enough to accept).
+    """
+    texts: set[str] = set()
+
+    def visit_target(target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                visit_target(elt)
+            return
+        if isinstance(target, ast.Starred):
+            visit_target(target.value)
+            return
+        text = dotted_text(target)
+        if text is not None:
+            texts.add(text)
+
+    def visit(stmt: ast.stmt) -> None:
+        if isinstance(stmt, (*_SCOPE_TYPES, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                visit_target(target)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            visit_target(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            visit_target(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    visit_target(item.optional_vars)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                visit_target(target)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                visit(child)
+            elif isinstance(child, (ast.excepthandler,)):
+                for sub in child.body:
+                    visit(sub)
+
+    for stmt in stmts:
+        visit(stmt)
+    return texts
+
+
+def _kill(facts: set[str], text: str) -> None:
+    """Drop every fact invalidated by assigning ``text``."""
+    prefix = text + "."
+    for fact in [f for f in facts if f == text or f.startswith(prefix)]:
+        facts.discard(fact)
+
+
+class NonNoneAnalysis:
+    """Forward non-None fact propagation over one parsed module.
+
+    ``facts_at[id(node)]`` holds the facts live at ``node`` for every
+    expression node visited, across all scopes.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.facts_at: dict[int, frozenset[str]] = {}
+        self._walk_body(list(tree.body), set())
+
+    # -- expression annotation ----------------------------------------
+    def _note(self, node: Optional[ast.AST], facts: set[str]) -> None:
+        if node is None:
+            return
+        snapshot = frozenset(facts)
+        stack: list[ast.AST] = [node]
+        lambdas: list[ast.Lambda] = []
+        while stack:
+            sub = stack.pop()
+            self.facts_at.setdefault(id(sub), snapshot)
+            if isinstance(sub, ast.Lambda):
+                # The body is annotated separately with def-point
+                # facts minus the lambda's own parameters.
+                lambdas.append(sub)
+                continue
+            stack.extend(ast.iter_child_nodes(sub))
+        for lam in lambdas:
+            params = {a.arg for a in _all_args(lam.args)}
+            inherited = {
+                f for f in facts if f.split(".", 1)[0] not in params
+            }
+            self._note(lam.body, set(inherited))
+
+    # -- statement walk ------------------------------------------------
+    def _walk_body(self, stmts: list[ast.stmt], facts: set[str]) -> bool:
+        """Walk ``stmts`` updating ``facts``; True if control exits."""
+        for stmt in stmts:
+            if self._walk_stmt(stmt, facts):
+                return True
+        return False
+
+    def _walk_stmt(self, stmt: ast.stmt, facts: set[str]) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in stmt.decorator_list:
+                self._note(dec, facts)
+            params = {a.arg for a in _all_args(stmt.args)}
+            inherited = {
+                f for f in facts if f.split(".", 1)[0] not in params
+            }
+            self._walk_body(list(stmt.body), set(inherited))
+            facts.add(stmt.name)
+            return False
+        if isinstance(stmt, ast.ClassDef):
+            for dec in stmt.decorator_list:
+                self._note(dec, facts)
+            for base in stmt.bases:
+                self._note(base, facts)
+            self._walk_body(list(stmt.body), set(facts))
+            facts.add(stmt.name)
+            return False
+        if isinstance(stmt, ast.Return):
+            self._note(stmt.value, facts)
+            return True
+        if isinstance(stmt, ast.Raise):
+            self._note(stmt.exc, facts)
+            self._note(stmt.cause, facts)
+            return True
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.Assign):
+            self._note(stmt.value, facts)
+            for target in stmt.targets:
+                self._note_targets(target, facts)
+            if len(stmt.targets) == 1:
+                text = dotted_text(stmt.targets[0])
+                if text is not None and _definitely_not_none(stmt.value):
+                    facts.add(text)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            self._note(stmt.value, facts)
+            self._note_targets(stmt.target, facts)
+            text = dotted_text(stmt.target)
+            if (
+                text is not None
+                and stmt.value is not None
+                and _definitely_not_none(stmt.value)
+            ):
+                facts.add(text)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            self._note(stmt.value, facts)
+            self._note_targets(stmt.target, facts)
+            return False
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._note(target, facts)
+                text = dotted_text(target)
+                if text is not None:
+                    _kill(facts, text)
+            return False
+        if isinstance(stmt, ast.Assert):
+            self._note(stmt.test, facts)
+            self._note(stmt.msg, facts)
+            facts |= guard_true_facts(stmt.test)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, facts)
+        if isinstance(stmt, (ast.While,)):
+            self._note(stmt.test, facts)
+            killed = _assigned_texts(stmt.body)
+            body_facts = set(facts) | guard_true_facts(stmt.test)
+            for text in killed:
+                _kill(body_facts, text)
+            # Re-apply the loop guard after the kill: the test is
+            # re-evaluated every iteration, so its facts survive.
+            body_facts |= guard_true_facts(stmt.test)
+            self._walk_body(list(stmt.body), body_facts)
+            self._walk_body(list(stmt.orelse), set(facts))
+            for text in killed:
+                _kill(facts, text)
+            return False
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._note(stmt.iter, facts)
+            killed = _assigned_texts(stmt.body) | _assigned_texts([stmt])
+            body_facts = set(facts)
+            for text in killed:
+                _kill(body_facts, text)
+            self._note_targets(stmt.target, body_facts)
+            self._walk_body(list(stmt.body), body_facts)
+            self._walk_body(list(stmt.orelse), set(facts))
+            for text in killed:
+                _kill(facts, text)
+            return False
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            killed: set[str] = set()
+            for item in stmt.items:
+                self._note(item.context_expr, facts)
+                if item.optional_vars is not None:
+                    text = dotted_text(item.optional_vars)
+                    if text is not None:
+                        killed.add(text)
+            for text in killed:
+                _kill(facts, text)
+            return self._walk_body(list(stmt.body), facts)
+        if isinstance(stmt, ast.Try):
+            killed = _assigned_texts(stmt.body)
+            body_facts = set(facts)
+            self._walk_body(list(stmt.body), body_facts)
+            # A handler may run after any prefix of the body: only
+            # facts the body cannot have invalidated survive into it.
+            for handler in stmt.handlers:
+                handler_facts = set(facts)
+                for text in killed:
+                    _kill(handler_facts, text)
+                if handler.name:
+                    _kill(handler_facts, handler.name)
+                self._walk_body(list(handler.body), handler_facts)
+            self._walk_body(list(stmt.orelse), set(body_facts))
+            after = set(facts)
+            for text in killed | _assigned_texts(stmt.orelse):
+                _kill(after, text)
+            self._walk_body(list(stmt.finalbody), set(after))
+            for text in _assigned_texts(stmt.finalbody):
+                _kill(after, text)
+            facts.clear()
+            facts.update(after)
+            return False
+        if isinstance(stmt, ast.Expr):
+            self._note(stmt.value, facts)
+            return False
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                facts.add(alias.asname or alias.name.split(".")[0])
+            return False
+        if isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass)):
+            return False
+        # Opaque statement shape (match, etc.): annotate expressions
+        # with current facts, kill everything it assigns, walk bodies.
+        killed = _assigned_texts([stmt])
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._note(child, facts)
+        for text in killed:
+            _kill(facts, text)
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.stmt) and child is not stmt:
+                self._walk_stmt(child, set(facts))
+        return False
+
+    def _walk_if(self, stmt: ast.If, facts: set[str]) -> bool:
+        self._note(stmt.test, facts)
+        body_facts = set(facts) | guard_true_facts(stmt.test)
+        else_facts = set(facts) | guard_false_facts(stmt.test)
+        body_term = self._walk_body(list(stmt.body), body_facts)
+        else_term = (
+            self._walk_body(list(stmt.orelse), else_facts)
+            if stmt.orelse
+            else False
+        )
+        if body_term and stmt.orelse and else_term:
+            return True
+        if body_term:
+            facts.clear()
+            facts.update(else_facts)
+        elif stmt.orelse and else_term:
+            facts.clear()
+            facts.update(body_facts)
+        else:
+            merged = body_facts & else_facts
+            facts.clear()
+            facts.update(merged)
+        return False
+
+    def _note_targets(self, target: ast.expr, facts: set[str]) -> None:
+        """Annotate a target expression and kill what it assigns."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._note_targets(elt, facts)
+            return
+        if isinstance(target, ast.Starred):
+            self._note_targets(target.value, facts)
+            return
+        self._note(target, facts)
+        text = dotted_text(target)
+        if text is not None:
+            _kill(facts, text)
+
+
+def _all_args(args: ast.arguments) -> list[ast.arg]:
+    out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        out.append(args.vararg)
+    if args.kwarg is not None:
+        out.append(args.kwarg)
+    return out
+
+
+def non_none_facts(tree: ast.Module) -> dict[int, frozenset[str]]:
+    """Facts live at each expression node: ``{id(node): {names...}}``."""
+    return NonNoneAnalysis(tree).facts_at
+
+
+def iter_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[Optional[_FunctionScope], list[ast.stmt]]]:
+    """Yield ``(scope, body)`` for the module and every function.
+
+    The module scope yields ``(None, tree.body)``.  Class bodies are
+    traversed transparently (their methods are scopes; the class body
+    statements belong to the enclosing scope's listing only through
+    the methods).  Lambdas have no statement body and are not yielded.
+    """
+    yield None, list(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body)
+
+
+def scope_statements(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one scope in program order, nested scopes excluded.
+
+    Compound statements (if/for/while/try/with) are descended; nested
+    function and class bodies are not — their statements belong to the
+    inner scope.
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (*_SCOPE_TYPES, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                yield from scope_statements([child])
+            elif isinstance(child, ast.excepthandler):
+                yield from scope_statements(list(child.body))

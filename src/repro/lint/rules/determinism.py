@@ -121,3 +121,103 @@ class SetIterationRule(Rule):
             f"set consumed in {where} has hash-dependent order; "
             "wrap in sorted(...) to pin it",
         )
+
+
+@register_rule
+class WallClockAliasRule(Rule):
+    """DET003: wall-clock / entropy callables escaping through aliases.
+
+    Flow-aware companion to DET001.  That rule inspects each call
+    site's dotted name, so ``now = time.time`` followed by ``now()``
+    — or ``time.time`` passed as a default clock argument — sails
+    straight past it.  This rule tracks assignments that bind a banned
+    callable (directly or through one level of alias-of-alias) to a
+    local name, then flags the binding, any call through the alias,
+    and any escape of a banned callable or alias as a call argument.
+    """
+
+    rule_id = "DET003"
+    summary = (
+        "wall-clock/entropy callable aliased or passed as a value; "
+        "the nondeterminism escapes call-site analysis"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = build_import_map(ctx.tree)
+
+        def banned_qual(node: ast.AST) -> str | None:
+            qual = qualified_name(node, imports)
+            if qual is not None and (
+                qual in _BANNED_CALLS or qual.startswith(_BANNED_PREFIXES)
+            ):
+                return qual
+            return None
+
+        assigns: list[tuple[str, ast.expr, ast.Assign]] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                assigns.append(
+                    (node.targets[0].id, node.value, node)
+                )
+        aliases: dict[str, str] = {}
+        alias_sites: list[tuple[ast.Assign, str, str]] = []
+        # Two passes resolve one level of alias-of-alias regardless of
+        # the textual order of the two assignments.
+        for _ in range(2):
+            for name, value, node in assigns:
+                qual = banned_qual(value)
+                if (
+                    qual is None
+                    and isinstance(value, ast.Name)
+                    and value.id in aliases
+                ):
+                    qual = aliases[value.id]
+                if qual is not None and name not in aliases:
+                    aliases[name] = qual
+                    alias_sites.append((node, name, qual))
+        for node, name, qual in alias_sites:
+            yield self.finding(
+                ctx,
+                node,
+                f"binds {qual} to '{name}'; calls through this alias "
+                "inject wall-clock/entropy nondeterminism invisibly "
+                "to call-site analysis (DET001)",
+            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.func.id}() calls {aliases[node.func.id]} "
+                    "through an alias; simulation state must derive "
+                    "from the scenario seed",
+                )
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in values:
+                qual = banned_qual(arg)
+                if qual is not None:
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"{qual} escapes as a call argument; the "
+                        "callee can invoke it later, injecting "
+                        "nondeterminism past call-site analysis",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in aliases:
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"alias '{arg.id}' of {aliases[arg.id]} "
+                        "escapes as a call argument; the callee can "
+                        "invoke it later, injecting nondeterminism "
+                        "past call-site analysis",
+                    )

@@ -6,6 +6,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.lint.core import Finding, LintContext, Rule, register_rule
+from repro.lint.dataflow import dotted_text, non_none_facts
 
 #: Module filenames that are CLI surfaces by convention: their whole
 #: job is writing to stdout/stderr.
@@ -70,4 +71,71 @@ class NoPrintInLibraryRule(Rule):
                     "print() writes to the caller's stdout; library "
                     "code must use logging or repro.telemetry so "
                     "output stays routable",
+                )
+
+
+#: Receiver names treated as maybe-None tracer handles.
+_TRACER_NAMES = frozenset({"tracer", "trace", "_tracer", "_trace"})
+
+
+@register_rule
+class UnguardedTracerEmitRule(Rule):
+    """OBS002: tracer emission must be dominated by a non-None guard.
+
+    Telemetry is opt-out by design: every tracer handle in library
+    code (``self.tracer``, ``network.trace``, a ``tracer`` local) is
+    ``None`` when tracing is disabled, so an ``.emit()`` whose
+    receiver is not provably non-``None`` on every path raises
+    ``AttributeError`` the moment telemetry is off — the common,
+    untraced configuration.  The dataflow layer supplies the proof:
+    direct ``if x.tracer is not None:`` guards, early-exit ``if
+    tracer is None: return`` aliases, ``and``-conjoined and negated
+    guards, assignments from constructor calls, and closures created
+    under a guard all count.  A call-site-only rule (OBS001 style)
+    cannot see guards at all — it would either flag every emission or
+    none.
+    """
+
+    rule_id = "OBS002"
+    summary = (
+        "tracer .emit() not dominated by an 'is not None' guard; "
+        "raises AttributeError when telemetry is disabled"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # The telemetry package itself owns non-Optional tracer
+        # internals; everywhere else the handle is Optional.
+        return (
+            ctx.is_library_code
+            and "telemetry" not in ctx.posix_path.parts
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        facts = non_none_facts(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "emit":
+                continue
+            recv = func.value
+            if isinstance(recv, ast.Name):
+                leaf = recv.id
+            elif isinstance(recv, ast.Attribute):
+                leaf = recv.attr
+            else:
+                continue
+            if leaf not in _TRACER_NAMES:
+                continue
+            text = dotted_text(recv)
+            if text is None:
+                continue
+            if text not in facts.get(id(node), frozenset()):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{text}.emit() is reachable with {text} = None "
+                    "(telemetry disabled); guard the emission with "
+                    f"'if {text} is not None:' or hoist a guarded "
+                    "local alias",
                 )

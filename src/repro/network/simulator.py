@@ -100,6 +100,27 @@ class Simulator:
         self._cancelled_total = 0
         self._compactions = 0
         self._peak_depth = 0
+        #: Recording probe (see ``repro.sanitize``); None = zero-cost.
+        self._probe: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Probe (opt-in recording, e.g. the repro.sanitize sanitizer)
+    # ------------------------------------------------------------------
+    def attach_probe(self, probe: Any) -> None:
+        """Install a recording probe around event execution.
+
+        The probe must expose ``on_scheduled(event)``,
+        ``on_event_begin(time, event)`` and ``on_event_end(event)``.
+        With no probe attached the loop takes the original fast path —
+        the only cost is one ``is None`` check per event.
+        """
+        if self._probe is not None:
+            raise SimulationError("a probe is already attached")
+        self._probe = probe
+
+    def detach_probe(self) -> None:
+        """Remove the recording probe (no-op when none is attached)."""
+        self._probe = None
 
     @property
     def now(self) -> float:
@@ -158,6 +179,8 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         event = Event(self, time, fn, args, seq)
+        if self._probe is not None:
+            self._probe.on_scheduled(event)
         queue = self._queue
         heapq.heappush(queue, (time, seq, event))
         if len(queue) > self._peak_depth:
@@ -202,6 +225,8 @@ class Simulator:
             # Empty train: nothing to queue; hand back an inert handle.
             event._queued = False
             return event
+        if self._probe is not None:
+            self._probe.on_scheduled(event)
         queue = self._queue
         heapq.heappush(queue, (start, seq, event))
         if len(queue) > self._peak_depth:
@@ -260,6 +285,7 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         heappush = heapq.heappush
+        probe = self._probe
         try:
             while queue:
                 entry = queue[0]
@@ -277,7 +303,14 @@ class Simulator:
                     self._cancelled_in_queue -= 1
                     continue
                 self._now = time
-                event.fn(*event.args)
+                if probe is None:
+                    event.fn(*event.args)
+                else:
+                    probe.on_event_begin(time, event)
+                    try:
+                        event.fn(*event.args)
+                    finally:
+                        probe.on_event_end(event)
                 executed += 1
                 interval = event.interval
                 if interval is not None and not event.cancelled:
@@ -305,7 +338,15 @@ class Simulator:
                 self._cancelled_in_queue -= 1
                 continue
             self._now = entry[0]
-            event.fn(*event.args)
+            probe = self._probe
+            if probe is None:
+                event.fn(*event.args)
+            else:
+                probe.on_event_begin(entry[0], event)
+                try:
+                    event.fn(*event.args)
+                finally:
+                    probe.on_event_end(event)
             self._processed += 1
             interval = event.interval
             if interval is not None and not event.cancelled:

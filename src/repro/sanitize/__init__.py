@@ -1,0 +1,26 @@
+"""Runtime sanitizer for the SID discrete-event simulation.
+
+Opt-in recording mode for :class:`repro.network.simulator.Simulator`
+(DESIGN.md §15): shadow access sets per executed event, an order-race
+detector for same-timestamp conflicts, RNG stream provenance checks,
+and a battery-billing conservation audit.  Zero-cost when not
+attached; run scenarios with ``run_network_scenario(...,
+sanitizer=Sanitizer())`` and assert ``sanitizer.report().ok``.
+"""
+
+from repro.sanitize.access import Cell, EventRecord
+from repro.sanitize.report import (
+    SanitizerFinding,
+    SanitizerReport,
+)
+from repro.sanitize.rng import TrackedGenerator
+from repro.sanitize.sanitizer import Sanitizer
+
+__all__ = [
+    "Cell",
+    "EventRecord",
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "TrackedGenerator",
+]

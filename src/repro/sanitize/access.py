@@ -1,0 +1,60 @@
+"""Shadow access sets: what state a simulated event touched.
+
+Cells are small hashable tuples naming one piece of mutable simulation
+state — ``("node", 7)`` for a node process, ``("battery", 7)`` for its
+energy ledger, ``("rng", "mac")`` for a seeded stream, ``("mac",
+"medium")`` for the shared radio medium, ``("sink", 0)`` for the sink
+aggregation state.  The sanitizer records, per executed event, the set
+of cells read and written; the order-race detector then compares
+same-timestamp events cell-set against cell-set (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+#: One piece of named simulation state.
+Cell = Tuple[str, Union[str, int]]
+
+
+class EventRecord:
+    """Access record for one executed event.
+
+    ``origin`` is ``None`` for events created outside any event
+    callback (install-time scheduling, before ``run()``), else the
+    ``(parent_seq, parent_time)`` of the event whose callback scheduled
+    this one.  Install-created events always carry lower ``seq`` than
+    any runtime-created event at the same timestamp, so their relative
+    order is structurally fixed; only runtime/runtime pairs can race.
+    """
+
+    __slots__ = ("seq", "time", "label", "origin", "reads", "writes")
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        label: str,
+        origin: Optional[Tuple[int, float]],
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.label = label
+        self.origin = origin
+        self.reads: set[Cell] = set()
+        self.writes: set[Cell] = set()
+
+    def conflicts_with(self, other: "EventRecord") -> frozenset[Cell]:
+        """Cells where the pair does not commute (W/W, W/R, R/W)."""
+        return frozenset(
+            (self.writes & other.writes)
+            | (self.writes & other.reads)
+            | (self.reads & other.writes)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventRecord(seq={self.seq}, t={self.time}, "
+            f"label={self.label!r}, reads={sorted(self.reads)}, "
+            f"writes={sorted(self.writes)})"
+        )

@@ -1,0 +1,119 @@
+"""Sanitizer findings and the end-of-run report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Finding kinds, in severity order for report formatting.
+KIND_ORDER_RACE = "order-race"
+KIND_RNG_PROVENANCE = "rng-provenance"
+KIND_BILLING = "billing"
+
+
+@dataclass
+class SanitizerFinding:
+    """One detected determinism violation."""
+
+    kind: str
+    message: str
+    time_s: Optional[float] = None
+    details: dict[str, Union[str, int, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        when = "" if self.time_s is None else f" @ t={self.time_s:.6f}s"
+        extra = ""
+        if self.details:
+            pairs = ", ".join(
+                f"{k}={self.details[k]}" for k in sorted(self.details)
+            )
+            extra = f" [{pairs}]"
+        return f"[{self.kind}]{when} {self.message}{extra}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "time_s": self.time_s,
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitized run observed.
+
+    ``ok`` is the CI gate: no findings of any kind.  The ledgers
+    (``rng_draws``, ``billing``) are included even when clean so a
+    report artifact documents *what* was audited, not just that the
+    audit passed.
+    """
+
+    findings: tuple[SanitizerFinding, ...]
+    events_executed: int
+    events_recorded: int
+    rng_draws: dict[str, int]
+    billing: dict[int, dict[str, int]]
+    truncated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and self.truncated == 0
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    def format(self) -> str:
+        lines = [
+            "sanitizer report: "
+            + ("CLEAN" if self.ok else f"{len(self.findings)} finding(s)"),
+            f"  events executed: {self.events_executed} "
+            f"(recorded: {self.events_recorded})",
+        ]
+        if self.rng_draws:
+            draws = ", ".join(
+                f"{name}={self.rng_draws[name]}"
+                for name in sorted(self.rng_draws)
+            )
+            lines.append(f"  rng draws: {draws}")
+        if self.billing:
+            total = sum(
+                n for cats in self.billing.values() for n in cats.values()
+            )
+            lines.append(
+                f"  battery draws billed: {total} across "
+                f"{len(self.billing)} node(s)"
+            )
+        for f in self.findings:
+            lines.append("  " + f.format())
+        if self.truncated:
+            lines.append(
+                f"  ... {self.truncated} further finding(s) truncated"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "events_executed": self.events_executed,
+            "events_recorded": self.events_recorded,
+            "rng_draws": dict(sorted(self.rng_draws.items())),
+            "billing": {
+                str(nid): dict(sorted(cats.items()))
+                for nid, cats in sorted(self.billing.items())
+            },
+            "counts_by_kind": self.counts_by_kind(),
+            "truncated": self.truncated,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        """Drop the report as a JSON artifact (CI uploads these)."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+        )

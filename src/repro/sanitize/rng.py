@@ -1,0 +1,89 @@
+"""Provenance-tracked RNG streams.
+
+``TrackedGenerator`` subclasses :class:`numpy.random.Generator` around
+the *same* ``BitGenerator`` instance as the stream it replaces, so the
+draw sequence is bit-identical to the untracked stream — the subclass
+only interposes bookkeeping before delegating.  Each draw reports the
+calling module (via the caller's frame globals) to the sanitizer,
+which checks it against the stream's declared owner set (DESIGN.md
+§11: one stream per subsystem, derived by ``repro.rng.derive_rng``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sanitize.sanitizer import Sanitizer
+
+#: Generator methods that consume bit-stream state.  ``spawn`` and
+#: ``bit_generator`` are deliberately absent: spawning derives a child
+#: SeedSequence without drawing, and repro.rng.derive_rng draws via
+#: ``integers`` which is listed.
+_DRAW_METHODS = (
+    "random",
+    "integers",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "choice",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "bytes",
+    "beta",
+    "gamma",
+    "lognormal",
+    "rayleigh",
+    "triangular",
+    "vonmises",
+    "weibull",
+)
+
+
+class TrackedGenerator(np.random.Generator):
+    """A ``numpy.random.Generator`` that reports every draw.
+
+    Sharing the replaced generator's ``bit_generator`` keeps the state
+    stream untouched; ``isinstance(g, np.random.Generator)`` stays
+    true, so ``repro.rng.make_rng`` passes tracked streams through
+    unchanged instead of re-seeding them.
+    """
+
+    def __init__(
+        self,
+        bit_generator: np.random.BitGenerator,
+        sanitizer: "Sanitizer",
+        stream: str,
+    ) -> None:
+        super().__init__(bit_generator)
+        self._sid_sanitizer = sanitizer
+        self._sid_stream = stream
+
+
+def _tracked(name: str) -> Callable[..., Any]:
+    base = getattr(np.random.Generator, name)
+
+    def method(self: TrackedGenerator, *args: Any, **kwargs: Any) -> Any:
+        # Frames: method (0) <- the drawing call site (1).
+        caller = sys._getframe(1).f_globals.get("__name__", "<unknown>")
+        self._sid_sanitizer._note_rng_draw(
+            self._sid_stream, name, caller
+        )
+        return base(self, *args, **kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"TrackedGenerator.{name}"
+    method.__doc__ = base.__doc__
+    return method
+
+
+for _name in _DRAW_METHODS:
+    setattr(TrackedGenerator, _name, _tracked(_name))
+del _name

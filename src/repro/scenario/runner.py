@@ -48,6 +48,7 @@ from repro.network.nodeproc import RetransmitPolicy, SensorNetwork
 from repro.network.selfheal import OrphanEvent, SelfHealingConfig
 from repro.physics.disturbance import Disturbance
 from repro.rng import RandomState, derive_rng, make_rng
+from repro.sanitize import Sanitizer
 import numpy as np
 from repro.scenario.deployment import DeployedNode, GridDeployment
 from repro.sensors.accelerometer import Accelerometer
@@ -540,6 +541,7 @@ def run_network_scenario(
     detection_engine: str = "fleet",
     telemetry: Optional[Telemetry] = None,
     quiet_elision: bool = True,
+    sanitizer: Optional[Sanitizer] = None,
 ) -> NetworkScenarioResult:
     """Run one scenario through the full network stack.
 
@@ -589,6 +591,15 @@ def run_network_scenario(
     active, and the result is bit-identical either way; set it False to
     force the one-event-per-window schedule (the benchmarks' reference
     arm does).
+
+    ``sanitizer`` (optional) attaches a :class:`repro.sanitize.
+    Sanitizer` recording probe: per-event shadow access sets, order-
+    race detection at shared timestamps, RNG stream provenance, and a
+    battery-billing audit reconciled against the schedule this runner
+    declares (DESIGN.md §15).  Recording never perturbs the run — the
+    tracked RNG streams share their originals' bit generators — so a
+    sanitized run is digest-identical to an unsanitized one; call
+    ``sanitizer.report()`` after the run for the findings.
     """
     if detection_engine not in ("fleet", "reference"):
         raise ConfigurationError(
@@ -650,6 +661,12 @@ def run_network_scenario(
         telemetry=telemetry,
     )
     injector.install(network)
+    if sanitizer is not None:
+        # Recording mode (DESIGN.md §15): probe the event loop, track
+        # the MAC/channel RNG streams, and audit the sink.  Per-node
+        # instrumentation follows in the deployment loop, before any
+        # node callbacks are scheduled.
+        sanitizer.attach_network(network)
     if healing is not None and healing.demote_battery_fraction is not None:
         # Fault-aware duty cycling: a drained battery demotes its node
         # to sentinel (non-relaying) duty through the healing runtime.
@@ -722,6 +739,8 @@ def run_network_scenario(
         )
         proc = network.add_node(sid, battery=node.mote.battery)
         trace = traces[node.node_id]
+        if sanitizer is not None:
+            sanitizer.track_node(proc)
         if outcomes is not None:
             # Replay the precomputed outcomes at the same window end
             # times the reference schedules its feeds (a masked-out
@@ -764,13 +783,29 @@ def run_network_scenario(
                 )
         else:
             a = preprocess_z_counts(trace.z, cfg.detector.preprocess)
-            for start in window_starts(cfg.detector, len(a)):
+            starts = window_starts(cfg.detector, len(a))
+            for start in starts:
                 seg = a[start : start + window]
                 t_start = trace.t0 + start / cfg.detector.rate_hz
                 t_end = t_start + window / cfg.detector.rate_hz
                 network.sim.schedule_at(
                     t_end, proc.feed_window, seg, t_start
                 )
+        if sanitizer is not None and proc.battery is not None:
+            n_billable = (
+                len(outcomes[node.node_id])
+                if outcomes is not None
+                else len(starts)
+            )
+            # Declared billing intent: each window bills draw_cpu
+            # seconds of 0.001*window, so the per-window joule amount
+            # replicates Battery.draw_cpu's op order bit-exactly.
+            sanitizer.expect_cpu_billing(
+                node.node_id,
+                n_billable,
+                (0.001 * window) * proc.battery.costs.cpu_j_per_s,
+                strict=not injector.active,
+            )
         # Timer ticks keep cluster deadlines firing after sampling ends.
         horizon = trace.t0 + trace.duration + 2 * cfg.cluster.collection_timeout_s
         if elide:

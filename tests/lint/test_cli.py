@@ -91,3 +91,57 @@ def test_parse_error_fails_the_gate(tmp_path, capsys) -> None:
     write_pkg(tmp_path, "def f(:\n")
     assert main([str(tmp_path)]) == 1
     assert "PARSE000" in capsys.readouterr().out
+
+
+def test_multi_rule_waiver_on_one_line(tmp_path, capsys) -> None:
+    write_pkg(
+        tmp_path,
+        "def f(x):\n"
+        "    assert x == 0.5  # lint: ignore[LIB001,NUM001]\n",
+    )
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s), 2 suppressed" in out
+
+
+def test_text_summary_breaks_suppressions_down_by_rule(
+    tmp_path, capsys
+) -> None:
+    write_pkg(
+        tmp_path,
+        "def f(x):\n"
+        "    assert x == 0.5  # lint: ignore[LIB001,NUM001]\n"
+        "    return x == 0.25  # lint: ignore[NUM001]\n",
+    )
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed by rule: LIB001=1, NUM001=2" in out
+
+
+def test_clean_tree_has_no_breakdown_line(tmp_path, capsys) -> None:
+    write_pkg(tmp_path, CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "suppressed by rule" not in capsys.readouterr().out
+
+
+def test_json_counts_by_rule(tmp_path, capsys) -> None:
+    write_pkg(
+        tmp_path,
+        "def f(x):\n"
+        "    assert x\n"
+        "    return x == 0.5  # lint: ignore[NUM001]\n",
+    )
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["active"] == 1
+    assert doc["counts"]["suppressed"] == 1
+    assert doc["counts"]["active_by_rule"] == {"LIB001": 1}
+    assert doc["counts"]["suppressed_by_rule"] == {"NUM001": 1}
+
+
+def test_select_and_ignore_compose(tmp_path) -> None:
+    write_pkg(tmp_path, DIRTY)
+    code = main(
+        [str(tmp_path), "--select", "LIB001,NUM001", "--ignore", "LIB001"]
+    )
+    assert code == 1  # NUM001 still active after the compose

@@ -1,0 +1,267 @@
+"""Unit tests for the flow-analysis layer behind RNG003/DET003/OBS002."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import (
+    dotted_text,
+    guard_false_facts,
+    guard_true_facts,
+    iter_scopes,
+    non_none_facts,
+    scope_statements,
+)
+
+
+def facts_at_call(source: str, marker: str) -> frozenset[str]:
+    """Facts live at the first ``<marker>(...)`` call in ``source``."""
+    tree = ast.parse(source)
+    facts = non_none_facts(tree)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == marker
+        ):
+            return facts.get(id(node), frozenset())
+    raise AssertionError(f"no call to {marker}() in fixture")
+
+
+class TestDottedText:
+    def test_name_and_attribute_chains(self) -> None:
+        assert dotted_text(ast.parse("a", mode="eval").body) == "a"
+        assert (
+            dotted_text(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        )
+
+    def test_non_chains_are_none(self) -> None:
+        assert dotted_text(ast.parse("a[0].b", mode="eval").body) is None
+        assert dotted_text(ast.parse("f().b", mode="eval").body) is None
+
+
+class TestGuardFacts:
+    def _test(self, expr: str) -> ast.expr:
+        return ast.parse(expr, mode="eval").body
+
+    def test_is_not_none(self) -> None:
+        assert guard_true_facts(self._test("x is not None")) == {"x"}
+        assert guard_false_facts(self._test("x is None")) == {"x"}
+
+    def test_truthiness(self) -> None:
+        assert guard_true_facts(self._test("self.tracer")) == {
+            "self.tracer"
+        }
+
+    def test_conjunction_unions(self) -> None:
+        facts = guard_true_facts(
+            self._test("a is not None and b.c is not None")
+        )
+        assert facts == {"a", "b.c"}
+
+    def test_negation_flips(self) -> None:
+        assert guard_true_facts(self._test("not (x is None)")) == {"x"}
+        # "not x" being false means x was truthy, hence non-None.
+        assert guard_false_facts(self._test("not x")) == {"x"}
+
+    def test_disjunction_of_nones(self) -> None:
+        assert guard_false_facts(
+            self._test("a is None or b is None")
+        ) == {"a", "b"}
+
+    def test_unrelated_compare_is_factless(self) -> None:
+        assert guard_true_facts(self._test("x == 3")) == set()
+
+
+class TestNonNoneFacts:
+    def test_direct_guard(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    if self.t is not None:\n"
+            "        use(self.t)\n"
+        )
+        assert "self.t" in facts_at_call(src, "use")
+
+    def test_early_return_guard(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    use(t)\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_early_raise_guard(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        raise ValueError\n"
+            "    use(t)\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_non_dominating_guard(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is not None:\n"
+            "        pass\n"
+            "    use(t)\n"
+        )
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_assignment_kills_fact(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    t = self.t\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    t = maybe()\n"
+            "    use(t)\n"
+        )
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_prefix_assignment_kills_attribute_fact(self) -> None:
+        src = (
+            "def f(self, net):\n"
+            "    if net.trace is not None:\n"
+            "        net = other()\n"
+            "        use(net.trace)\n"
+        )
+        assert "net.trace" not in facts_at_call(src, "use")
+
+    def test_constructor_assignment_generates_fact(self) -> None:
+        src = "def f():\n    t = Tracer()\n    use(t)\n"
+        assert "t" in facts_at_call(src, "use")
+
+    def test_plain_call_assignment_is_not_a_fact(self) -> None:
+        src = "def f(x):\n    t = x.maybe()\n    use(t)\n"
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_assert_generates_fact(self) -> None:
+        src = "def f(t):\n    assert t is not None\n    use(t)\n"
+        assert "t" in facts_at_call(src, "use")
+
+    def test_loop_body_assignment_kills_conservatively(self) -> None:
+        src = (
+            "def f(t, rows):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    for r in rows:\n"
+            "        use(t)\n"
+            "        t = step(t)\n"
+        )
+        # t is reassigned inside the loop, so the fact must not
+        # survive into the second iteration's use(t).
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_loop_without_kill_keeps_fact(self) -> None:
+        src = (
+            "def f(t, rows):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    for r in rows:\n"
+            "        use(t)\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_nested_function_inherits_def_point_facts(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    def fire():\n"
+            "        use(t)\n"
+            "    return fire\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_nested_function_param_shadows_fact(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    def fire(t):\n"
+            "        use(t)\n"
+            "    return fire\n"
+        )
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_lambda_inherits_def_point_facts(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    return lambda: use(t)\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_try_body_assignment_blocks_handler_facts(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    try:\n"
+            "        t = maybe()\n"
+            "    except ValueError:\n"
+            "        use(t)\n"
+        )
+        assert "t" not in facts_at_call(src, "use")
+
+    def test_both_branches_terminating_merges_to_unreachable(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    if t is None:\n"
+            "        return\n"
+            "    else:\n"
+            "        use(t)\n"
+        )
+        assert "t" in facts_at_call(src, "use")
+
+    def test_while_guard_fact_survives_body(self) -> None:
+        src = (
+            "def f(t):\n"
+            "    while t is not None:\n"
+            "        use(t)\n"
+            "        t = t.next\n"
+        )
+        # The loop test re-establishes the fact each iteration even
+        # though the body reassigns t.
+        assert "t" in facts_at_call(src, "use")
+
+
+class TestScopeIteration:
+    def test_iter_scopes_yields_module_and_functions(self) -> None:
+        src = (
+            "x = 1\n"
+            "def f():\n"
+            "    def g():\n"
+            "        pass\n"
+            "class C:\n"
+            "    def m(self):\n"
+            "        pass\n"
+        )
+        scopes = list(iter_scopes(ast.parse(src)))
+        names = [s.name for s, _ in scopes if s is not None]
+        assert scopes[0][0] is None
+        assert set(names) == {"f", "g", "m"}
+
+    def test_scope_statements_skip_nested_scopes(self) -> None:
+        src = (
+            "def f():\n"
+            "    a = 1\n"
+            "    if a:\n"
+            "        b = 2\n"
+            "    def g():\n"
+            "        c = 3\n"
+        )
+        tree = ast.parse(src)
+        fn = tree.body[0]
+        assert isinstance(fn, ast.FunctionDef)
+        stmts = list(scope_statements(list(fn.body)))
+        assigned = [
+            s.targets[0].id
+            for s in stmts
+            if isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+        ]
+        assert assigned == ["a", "b"]  # c belongs to g's scope

@@ -416,26 +416,283 @@ def test_obs001_ignores_shadowed_print() -> None:
 
 
 # ---------------------------------------------------------------------------
+# RNG003 — stream aliasing (flow-aware)
+# ---------------------------------------------------------------------------
+
+RNG003_FIRING = """
+from repro.rng import make_rng
+
+def build(seed, sim, chan, cfg):
+    rng = make_rng(seed)
+    mac = Mac(sim, chan, cfg, seed=rng)
+    channel = Channel(cfg, rng=rng)
+    return mac, channel, rng.uniform(0.0, 1.0)
+"""
+
+RNG003_CLEAN = """
+from repro.rng import derive_rng, make_rng, spawn_rng
+
+def build(seed, sim, chan, cfg):
+    base = make_rng(seed)
+    root = int(base.integers(2**31))
+    mac = Mac(sim, chan, cfg, seed=derive_rng(root, "mac"))
+    channel = Channel(cfg, rng=derive_rng(root, "channel"))
+    jitter = optional_jitter(base, 0.1)
+    return mac, channel, jitter
+"""
+
+
+def test_rng003_fires_on_reuse_after_handoff() -> None:
+    # Two findings: the second hand-off aliases the stream, and the
+    # draw after hand-off aliases it again.
+    assert ids_at(RNG003_FIRING).count("RNG003") == 2
+
+
+def test_rng003_clean_on_derived_children() -> None:
+    assert "RNG003" not in ids_at(RNG003_CLEAN)
+
+
+def test_rng003_tracks_rng_named_and_annotated_params() -> None:
+    src = (
+        "import numpy as np\n"
+        "def a(rng):\n"
+        "    Mac(seed=rng)\n"
+        "    return rng.random()\n"
+        "def b(gen: np.random.Generator):\n"
+        "    Channel(rng=gen)\n"
+        "    return gen.random()\n"
+    )
+    assert ids_at(src).count("RNG003") == 2
+
+
+def test_rng003_borrow_is_not_a_handoff() -> None:
+    src = (
+        "from repro.rng import make_rng\n"
+        "def f(seed):\n"
+        "    rng = make_rng(seed)\n"
+        "    optional_jitter(rng, 0.1)\n"
+        "    return rng.normal()\n"
+    )
+    assert "RNG003" not in ids_at(src)
+
+
+def test_rng003_rebinding_clears_ownership() -> None:
+    src = (
+        "from repro.rng import make_rng\n"
+        "def f(seed):\n"
+        "    rng = make_rng(seed)\n"
+        "    Mac(seed=rng)\n"
+        "    rng = make_rng(seed)\n"
+        "    return rng.random()\n"
+    )
+    assert "RNG003" not in ids_at(src)
+
+
+def test_rng003_invisible_to_rng001() -> None:
+    """The call-site-only rule provably misses the aliasing sequence."""
+    assert "RNG001" not in ids_at(RNG003_FIRING)
+    assert "RNG003" in ids_at(RNG003_FIRING)
+
+
+# ---------------------------------------------------------------------------
+# DET003 — wall-clock aliases (flow-aware)
+# ---------------------------------------------------------------------------
+
+DET003_FIRING = """
+import time
+
+def make_clock():
+    now = time.time
+    return now()
+
+def schedule(runner):
+    runner.set_clock(time.time)
+"""
+
+DET003_CLEAN = """
+import time
+
+def measure():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+def clocked(now):
+    return now()
+"""
+
+
+def test_det003_fires_on_alias_and_escape() -> None:
+    ids = ids_at(DET003_FIRING)
+    # Binding, the call through the alias, and the argument escape.
+    assert ids.count("DET003") == 3
+
+
+def test_det003_clean_on_monotonic_timers() -> None:
+    assert "DET003" not in ids_at(DET003_CLEAN)
+
+
+def test_det003_resolves_alias_of_alias() -> None:
+    src = (
+        "import time\n"
+        "clock = time.time\n"
+        "tick = clock\n"
+        "t = tick()\n"
+    )
+    ids = ids_at(src)
+    # Both bindings flagged plus the call through the second alias.
+    assert ids.count("DET003") == 3
+
+
+def test_det003_invisible_to_det001() -> None:
+    """DET001 checks call-site names only; the alias sails past it."""
+    assert "DET001" not in ids_at(DET003_FIRING)
+    assert "DET003" in ids_at(DET003_FIRING)
+
+
+# ---------------------------------------------------------------------------
+# OBS002 — unguarded tracer emission (flow-aware)
+# ---------------------------------------------------------------------------
+
+OBS002_FIRING = """
+class Proto:
+    def step(self, now):
+        self.tracer.emit("net", "step", sim_time_s=now)
+"""
+
+OBS002_CLEAN = """
+class Proto:
+    def step(self, now):
+        if self.tracer is not None:
+            self.tracer.emit("net", "step", sim_time_s=now)
+
+    def walk(self, rows):
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for row in rows:
+            tracer.emit("net", "row", row=row)
+
+    def deferred(self):
+        tracer = self.tracer
+        if tracer is None:
+            return None
+
+        def fire():
+            tracer.emit("net", "late")
+
+        return fire
+"""
+
+
+def test_obs002_fires_on_unguarded_emit() -> None:
+    assert ids_at(OBS002_FIRING).count("OBS002") == 1
+
+
+def test_obs002_clean_on_guarded_patterns() -> None:
+    # Direct guard, early-return alias, and closure under a guard.
+    assert "OBS002" not in ids_at(OBS002_CLEAN)
+
+
+def test_obs002_guard_must_dominate() -> None:
+    src = (
+        "class P:\n"
+        "    def f(self):\n"
+        "        if self.tracer is not None:\n"
+        "            pass\n"
+        "        self.tracer.emit('x', 'y')\n"
+    )
+    # The guard exists but does not dominate the emission.
+    assert "OBS002" in ids_at(src)
+
+
+def test_obs002_kill_on_reassignment() -> None:
+    src = (
+        "class P:\n"
+        "    def f(self):\n"
+        "        tracer = self.tracer\n"
+        "        if tracer is None:\n"
+        "            return\n"
+        "        tracer = self.maybe_other()\n"
+        "        tracer.emit('x', 'y')\n"
+    )
+    assert "OBS002" in ids_at(src)
+
+
+def test_obs002_constructed_tracer_is_non_none() -> None:
+    src = (
+        "def f():\n"
+        "    tracer = Tracer()\n"
+        "    tracer.emit('x', 'y')\n"
+    )
+    assert "OBS002" not in ids_at(src)
+
+
+def test_obs002_exempts_test_code_and_telemetry() -> None:
+    assert "OBS002" not in ids_at(OBS002_FIRING, path=TEST)
+    assert "OBS002" not in ids_at(
+        OBS002_FIRING, path="src/repro/telemetry/tracer.py"
+    )
+
+
+def test_obs002_invisible_to_obs001() -> None:
+    """OBS001-style call-site checks cannot see guard dominance."""
+    assert "OBS001" not in ids_at(OBS002_FIRING)
+    assert "OBS002" in ids_at(OBS002_FIRING)
+
+
+# ---------------------------------------------------------------------------
 # Cross-cutting engine behaviour
 # ---------------------------------------------------------------------------
+
+#: rule id -> (firing fixture, clean fixture); the meta-test below
+#: keeps this registry exhaustive against the rule registry.
+FIXTURES: dict[str, tuple[str, str]] = {
+    "RNG001": (RNG001_FIRING, RNG001_CLEAN),
+    "RNG002": (RNG002_FIRING, RNG002_CLEAN),
+    "RNG003": (RNG003_FIRING, RNG003_CLEAN),
+    "DET001": (DET001_FIRING, DET001_CLEAN),
+    "DET002": (DET002_FIRING, DET002_CLEAN),
+    "DET003": (DET003_FIRING, DET003_CLEAN),
+    "LIB001": (LIB001_FIRING, LIB001_CLEAN),
+    "LIB002": (LIB002_FIRING, LIB002_CLEAN),
+    "NUM001": (NUM001_FIRING, NUM001_CLEAN),
+    "EXP001": (EXP001_FIRING, EXP001_CLEAN),
+    "EXP002": (EXP002_FIRING, EXP002_CLEAN),
+    "IMP001": (IMP001_FIRING, IMP001_CLEAN),
+    "OBS001": (OBS001_FIRING, OBS001_CLEAN),
+    "OBS002": (OBS002_FIRING, OBS002_CLEAN),
+}
 
 
 def test_every_registered_rule_has_fixture_coverage() -> None:
     """Meta-test: adding a rule without fixtures fails here."""
-    covered = {
-        "RNG001",
-        "RNG002",
-        "DET001",
-        "DET002",
-        "LIB001",
-        "LIB002",
-        "NUM001",
-        "EXP001",
-        "EXP002",
-        "IMP001",
-        "OBS001",
-    }
-    assert {r.rule_id for r in all_rules()} == covered
+    assert {r.rule_id for r in all_rules()} == set(FIXTURES)
+
+
+def test_rule_ids_are_unique_and_well_formed() -> None:
+    rules = all_rules()
+    ids = [r.rule_id for r in rules]
+    assert len(ids) == len(set(ids))
+    for rule in rules:
+        assert rule.rule_id and rule.summary
+        assert rule.__doc__, f"{rule.rule_id} has no docstring"
+        assert rule.rule_id in rule.__doc__, (
+            f"{rule.rule_id} docstring does not name its id"
+        )
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_firing_fixture_fires(rule_id: str) -> None:
+    firing, _ = FIXTURES[rule_id]
+    assert rule_id in ids_at(firing), f"{rule_id} firing fixture is silent"
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_clean_fixture_is_clean(rule_id: str) -> None:
+    _, clean = FIXTURES[rule_id]
+    assert rule_id not in ids_at(clean), (
+        f"{rule_id} clean fixture is not clean"
+    )
 
 
 def test_suppression_comment_waives_named_rule() -> None:

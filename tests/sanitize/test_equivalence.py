@@ -1,0 +1,74 @@
+"""Sanitizer transparency: golden scenarios are digest-equal and clean.
+
+The sanitizer's whole value rests on two guarantees proven here
+against the pinned golden digests from ``tests/scenario``:
+
+* observing the run changes nothing — the sanitized result is
+  bit-identical to the unsanitized one (TrackedGenerator shares the
+  bit generator; wrappers only record); and
+* the shipped stack itself is sanitizer-clean — zero findings and
+  balanced billing on both golden scenarios, so any future finding in
+  CI is a regression, not baseline noise.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize import Sanitizer
+from repro.scenario.digest import scenario_digest
+from repro.scenario.runner import run_network_scenario
+
+from tests.scenario.test_golden_digest import (
+    GOLDEN_FLEET,
+    GOLDEN_HEALED,
+    _scenario,
+)
+from repro.faults.plan import FaultPlan
+from repro.network.selfheal import SelfHealingConfig
+
+
+def _run(sanitizer=None, healed=False):
+    dep, ship, synth, cfg = _scenario()
+    kwargs = {}
+    if healed:
+        kwargs["faults"] = FaultPlan.rolling_crashes(
+            [5, 2], first_at_s=60.0, interval_s=30.0, downtime_s=60.0
+        )
+        kwargs["healing"] = SelfHealingConfig()
+    return run_network_scenario(
+        dep,
+        [ship],
+        sid_config=cfg,
+        synthesis_config=synth,
+        resync_interval_s=40.0,
+        seed=9,
+        sanitizer=sanitizer,
+        **kwargs,
+    )
+
+
+class TestGoldenEquivalence:
+    def test_fleet_scenario_digest_equal_and_clean(self):
+        san = Sanitizer()
+        result = _run(sanitizer=san)
+        assert scenario_digest(result) == GOLDEN_FLEET
+        report = san.report()
+        assert report.ok, report.format()
+        # The instrumentation actually observed the run.
+        assert report.events_recorded > 0
+        assert report.rng_draws["mac"] > 0
+        assert report.rng_draws["channel"] > 0
+        assert all("cpu" in cats for cats in report.billing.values())
+
+    def test_healed_scenario_digest_equal_and_clean(self):
+        san = Sanitizer()
+        result = _run(sanitizer=san, healed=True)
+        assert scenario_digest(result) == GOLDEN_HEALED
+        report = san.report()
+        assert report.ok, report.format()
+        assert report.events_recorded > 0
+
+    def test_sanitizer_default_is_off(self):
+        # sanitizer=None must leave the runner byte-for-byte on the
+        # untouched code path (no probe attached, no wrappers).
+        result = _run(sanitizer=None)
+        assert scenario_digest(result) == GOLDEN_FLEET
